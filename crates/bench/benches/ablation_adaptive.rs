@@ -1,0 +1,73 @@
+//! Ablation: fixed-count vs adaptive CI-driven stopping (§4.2.2).
+//!
+//! The adaptive rules spend exactly as many samples as the target
+//! precision requires; fixed-count plans either waste measurements on
+//! quiet operations or under-sample noisy ones. The bench measures the
+//! harness cost; the printed sample counts show the adaptivity.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+
+fn make_source(noisy: bool) -> impl FnMut() -> f64 {
+    let machine = if noisy {
+        MachineSpec::piz_dora()
+    } else {
+        MachineSpec::test_machine(4)
+    };
+    let mut cfg = PingPongConfig::paper_64b(1);
+    cfg.warmup_iterations = 0;
+    if !noisy {
+        cfg.node_b = 1;
+    }
+    let mut rng = SimRng::new(9);
+    move || pingpong_latencies_us(&machine, &cfg, &mut rng)[0]
+}
+
+fn bench_stopping_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stopping_rules");
+    g.sample_size(10);
+
+    for (label, noisy) in [("quiet", false), ("noisy", true)] {
+        // Show how many samples each policy takes.
+        let fixed = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(1_000));
+        let adaptive = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMedianCi {
+            confidence: 0.95,
+            rel_error: 0.02,
+            batch: 50,
+            max_samples: 20_000,
+        });
+        let mut src = make_source(noisy);
+        let n_fixed = fixed.run(&mut src).unwrap().samples.len();
+        let mut src = make_source(noisy);
+        let n_adaptive = adaptive.run(&mut src).unwrap().samples.len();
+        println!("{label}: fixed takes {n_fixed} samples, adaptive takes {n_adaptive}");
+
+        g.bench_with_input(
+            BenchmarkId::new("fixed_1000", label),
+            &noisy,
+            |b, &noisy| {
+                b.iter(|| {
+                    let mut src = make_source(noisy);
+                    black_box(fixed.run(&mut src).unwrap().samples.len())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("adaptive_2pct", label),
+            &noisy,
+            |b, &noisy| {
+                b.iter(|| {
+                    let mut src = make_source(noisy);
+                    black_box(adaptive.run(&mut src).unwrap().samples.len())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stopping_rules);
+criterion_main!(benches);

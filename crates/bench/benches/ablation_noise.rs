@@ -1,0 +1,63 @@
+//! Ablation: which noise source produces which statistical signature?
+//!
+//! The simulator composes four mechanisms (folded jitter, slow path, OS
+//! daemons, congestion). This ablation disables them one at a time and
+//! prints the resulting latency statistics — evidence that each figure's
+//! distribution shape comes from the mechanism DESIGN.md attributes it
+//! to — and benchmarks the sample-generation cost per configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+use scibench_stats::describe::describe;
+
+fn variants() -> Vec<(&'static str, MachineSpec)> {
+    let full = MachineSpec::pilatus();
+    let mut no_jitter = full.clone();
+    no_jitter.noise.jitter_sigma = 0.0;
+    let mut no_slow_path = full.clone();
+    no_slow_path.noise.slow_path_prob = 0.0;
+    let mut no_congestion = full.clone();
+    no_congestion.noise.congestion_prob = 0.0;
+    let mut no_daemons = full.clone();
+    no_daemons.noise.daemon_period_ns = 0.0;
+    vec![
+        ("full", full),
+        ("no_jitter", no_jitter),
+        ("no_slow_path", no_slow_path),
+        ("no_congestion", no_congestion),
+        ("no_daemons", no_daemons),
+    ]
+}
+
+fn bench_noise_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise_ablation");
+    g.sample_size(10);
+    for (name, machine) in variants() {
+        // Print the statistical signature of the variant.
+        let mut cfg = PingPongConfig::paper_64b(20_000);
+        cfg.warmup_iterations = 0;
+        let mut rng = SimRng::new(77);
+        let lat = pingpong_latencies_us(&machine, &cfg, &mut rng);
+        let d = describe(&lat).unwrap();
+        println!(
+            "{name:<14} median {:.3} us  mean {:.3}  max {:.2}  skew {:.2}",
+            d.five_number.median,
+            d.mean,
+            d.five_number.max,
+            d.skewness.unwrap_or(f64::NAN)
+        );
+
+        g.bench_with_input(BenchmarkId::from_parameter(name), &machine, |b, machine| {
+            let mut cfg = PingPongConfig::paper_64b(5_000);
+            cfg.warmup_iterations = 0;
+            let mut rng = SimRng::new(1);
+            b.iter(|| pingpong_latencies_us(machine, &cfg, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_noise_ablation);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Ablation: barrier-based vs window-based synchronization (§4.2.1).
+//!
+//! Benchmarks the protocol cost of each scheme and prints the achieved
+//! start-time skew once per configuration — the design-choice data behind
+//! the paper's recommendation of the window scheme.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scibench::sync::{barrier_sync_start, window_sync_start};
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::drift::ClockEnsemble;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::rng::SimRng;
+
+fn bench_sync_schemes(c: &mut Criterion) {
+    let machine = MachineSpec::piz_daint();
+    let mut g = c.benchmark_group("sync_schemes");
+    for p in [8usize, 64] {
+        let mut rng = SimRng::new(p as u64);
+        let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Packed, &mut rng);
+        let clocks = ClockEnsemble::sample(p, 10_000.0, 1e-6, &mut rng);
+
+        // Report the skew each scheme achieves (the figure of merit).
+        let mut barrier_skew = 0.0;
+        let mut window_skew = 0.0;
+        let reps = 50;
+        for _ in 0..reps {
+            barrier_skew += barrier_sync_start(&machine, &alloc, &mut rng).max_skew_ns();
+            window_skew +=
+                window_sync_start(&machine, &alloc, &clocks, 1e6, &mut rng).max_skew_ns();
+        }
+        println!(
+            "p={p}: mean start skew barrier {:.0} ns vs window {:.0} ns",
+            barrier_skew / reps as f64,
+            window_skew / reps as f64
+        );
+
+        g.bench_with_input(BenchmarkId::new("barrier", p), &p, |b, _| {
+            b.iter(|| barrier_sync_start(&machine, black_box(&alloc), &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("window", p), &p, |b, _| {
+            b.iter(|| window_sync_start(&machine, black_box(&alloc), &clocks, 1e6, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sync_schemes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches of the end-to-end figure regeneration pipelines at
+//! reduced sample counts — one per table/figure of the paper, so a
+//! regression in any stage (simulation, statistics, rendering) shows up
+//! as a pipeline slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scibench_bench::figures::*;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_pipelines");
+    g.sample_size(10);
+    g.bench_function("fig1_hpl_50runs", |b| {
+        b.iter(|| fig1_hpl::compute(50, 1).unwrap())
+    });
+    g.bench_function("table1_survey", |b| b.iter(|| table1::compute().render()));
+    g.bench_function("fig2_normalization_20k", |b| {
+        b.iter(|| fig2_normalization::compute(20_000, 1).unwrap())
+    });
+    g.bench_function("fig3_significance_20k", |b| {
+        b.iter(|| fig3_significance::compute(20_000, 1).unwrap())
+    });
+    g.bench_function("fig4_quantreg_20k", |b| {
+        b.iter(|| fig4_quantreg::compute(20_000, 1).unwrap())
+    });
+    g.bench_function("fig5_reduce_50runs", |b| {
+        b.iter(|| fig5_reduce::compute(50, 1).unwrap())
+    });
+    g.bench_function("fig6_variation_64x100", |b| {
+        b.iter(|| fig6_variation::compute(64, 100, 1).unwrap())
+    });
+    g.bench_function("fig7ab_bounds_10reps", |b| {
+        b.iter(|| fig7ab_bounds::compute(10, 1).unwrap())
+    });
+    g.bench_function("fig7c_plots_20k", |b| {
+        b.iter(|| fig7c_plots::compute(20_000, 1).unwrap())
+    });
+    g.bench_function("means_worked_example", |b| {
+        b.iter(|| means_example::compute().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches of the measurement harness itself: how much the
+//! bookkeeping (timer reads, adaptive CI checks, Welford accumulation)
+//! costs relative to a bare loop — LibSciBench's "low-overhead data
+//! collection" claim, quantified.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench_stats::summary::OnlineMoments;
+use scibench_timer::clock::{Clock, WallClock};
+use scibench_timer::watch::{MultiEventTimer, Stopwatch};
+
+fn work() -> f64 {
+    let mut acc = 0u64;
+    for i in 0..64u64 {
+        acc = acc.wrapping_add(i.wrapping_mul(0x9E3779B97F4A7C15));
+    }
+    (acc & 0xFF) as f64
+}
+
+fn bench_bare_vs_harness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("harness_overhead");
+    g.bench_function("bare_loop_100", |b| {
+        b.iter(|| {
+            let mut sink = 0.0;
+            for _ in 0..100 {
+                sink += work();
+            }
+            black_box(sink)
+        })
+    });
+    g.bench_function("fixed_plan_100", |b| {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(100));
+        b.iter(|| plan.run(|| black_box(work())).unwrap())
+    });
+    g.bench_function("adaptive_median_plan", |b| {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMedianCi {
+            confidence: 0.95,
+            rel_error: 0.05,
+            batch: 25,
+            max_samples: 2_000,
+        });
+        b.iter(|| plan.run(|| black_box(work())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_timer_reads(c: &mut Criterion) {
+    let clock = WallClock::new();
+    let mut g = c.benchmark_group("timer");
+    g.bench_function("clock_read", |b| b.iter(|| black_box(clock.now_ns())));
+    g.bench_function("stopwatch_cycle", |b| {
+        b.iter(|| {
+            let mut sw = Stopwatch::new();
+            sw.start(&clock);
+            black_box(work());
+            sw.stop(&clock)
+        })
+    });
+    g.bench_function("multi_event_k16_blocks4", |b| {
+        let timer = MultiEventTimer::new(16);
+        b.iter(|| {
+            timer.measure(&clock, 4, || {
+                black_box(work());
+            })
+        })
+    });
+    g.finish();
+}
+
+fn bench_accumulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accumulation");
+    g.bench_function("welford_push_1000", |b| {
+        b.iter(|| {
+            let mut m = OnlineMoments::new();
+            for i in 0..1000 {
+                m.push(black_box(i as f64));
+            }
+            m
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bare_vs_harness,
+    bench_timer_reads,
+    bench_accumulation
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches of the simulated HPC substrate: message-cost
+//! evaluation, ping-pong sample generation throughput, and collectives at
+//! several scales.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::collectives::{barrier, broadcast, reduce};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::network::NetworkModel;
+use scibench_sim::pingpong::{pingpong_latencies_ns, PingPongConfig};
+use scibench_sim::rng::SimRng;
+
+fn bench_pt2pt(c: &mut Criterion) {
+    let machine = MachineSpec::piz_dora();
+    let net = NetworkModel::new(&machine);
+    let mut rng = SimRng::new(1);
+    c.bench_function("pt2pt_noisy_64B", |b| {
+        b.iter(|| net.transfer_ns(black_box(0), black_box(18), 64, &mut rng))
+    });
+}
+
+fn bench_pingpong_generation(c: &mut Criterion) {
+    let machine = MachineSpec::piz_dora();
+    let mut g = c.benchmark_group("pingpong_samples");
+    g.sample_size(20);
+    for n in [1_000usize, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut cfg = PingPongConfig::paper_64b(n);
+            cfg.warmup_iterations = 0;
+            let mut rng = SimRng::new(2);
+            b.iter(|| pingpong_latencies_ns(&machine, &cfg, &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let machine = MachineSpec::piz_daint();
+    let mut g = c.benchmark_group("collectives");
+    for p in [8usize, 64, 512] {
+        let mut rng = SimRng::new(p as u64);
+        let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
+        g.bench_with_input(BenchmarkId::new("reduce", p), &p, |b, _| {
+            b.iter(|| reduce(&machine, black_box(&alloc), 8, &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("broadcast", p), &p, |b, _| {
+            b.iter(|| broadcast(&machine, black_box(&alloc), 8, &mut rng))
+        });
+        g.bench_with_input(BenchmarkId::new("barrier", p), &p, |b, _| {
+            b.iter(|| barrier(&machine, black_box(&alloc), &mut rng))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pt2pt,
+    bench_pingpong_generation,
+    bench_collectives
+);
+criterion_main!(benches);

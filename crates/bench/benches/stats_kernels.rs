@@ -1,0 +1,124 @@
+//! Criterion benches of the statistical kernels: the cost of being
+//! statistically sound. Summaries, quantiles, normality testing, KDE,
+//! confidence intervals and quantile regression at benchmark-realistic
+//! sample sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use scibench_stats::ci::{mean_ci, median_ci};
+use scibench_stats::htest::{kruskal_wallis, one_way_anova, welch_t_test};
+use scibench_stats::kde::{kde, Bandwidth};
+use scibench_stats::normality::{batch_means, shapiro_wilk_thinned};
+use scibench_stats::quantile::{quantile, QuantileMethod};
+use scibench_stats::quantreg::two_sample;
+use scibench_stats::summary::{arithmetic_mean, harmonic_mean, OnlineMoments};
+
+fn skewed_sample(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let u = (i as f64 + 0.5) / n as f64;
+            1.7 + 0.1
+                * scibench_stats::dist::normal::std_normal_inv_cdf(u)
+                    .abs()
+                    .exp()
+        })
+        .collect()
+}
+
+fn bench_means(c: &mut Criterion) {
+    let mut g = c.benchmark_group("means");
+    for n in [1_000usize, 100_000] {
+        let xs = skewed_sample(n);
+        g.bench_with_input(BenchmarkId::new("arithmetic", n), &xs, |b, xs| {
+            b.iter(|| arithmetic_mean(black_box(xs)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("harmonic", n), &xs, |b, xs| {
+            b.iter(|| harmonic_mean(black_box(xs)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("online_moments", n), &xs, |b, xs| {
+            b.iter(|| xs.iter().copied().collect::<OnlineMoments>())
+        });
+    }
+    g.finish();
+}
+
+fn bench_order_statistics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order_statistics");
+    for n in [1_000usize, 100_000] {
+        let xs = skewed_sample(n);
+        g.bench_with_input(BenchmarkId::new("median", n), &xs, |b, xs| {
+            b.iter(|| quantile(black_box(xs), 0.5, QuantileMethod::Interpolated).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("median_ci", n), &xs, |b, xs| {
+            b.iter(|| median_ci(black_box(xs), 0.95).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("mean_ci", n), &xs, |b, xs| {
+            b.iter(|| mean_ci(black_box(xs), 0.95).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_normality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("normality");
+    let xs = skewed_sample(100_000);
+    g.bench_function("shapiro_wilk_thinned_2000", |b| {
+        b.iter(|| shapiro_wilk_thinned(black_box(&xs), 2000).unwrap())
+    });
+    g.bench_function("batch_means_k100", |b| {
+        b.iter(|| batch_means(black_box(&xs), 100).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kde");
+    g.sample_size(20);
+    for n in [4_000usize, 100_000] {
+        let xs = skewed_sample(n);
+        g.bench_with_input(BenchmarkId::new("kde512", n), &xs, |b, xs| {
+            b.iter(|| kde(black_box(xs), Bandwidth::Silverman, 512).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hypothesis_tests");
+    let a = skewed_sample(10_000);
+    let b_sample: Vec<f64> = a.iter().map(|x| x + 0.05).collect();
+    g.bench_function("welch_t_10k", |b| {
+        b.iter(|| welch_t_test(black_box(&a), black_box(&b_sample)).unwrap())
+    });
+    g.bench_function("kruskal_wallis_10k", |b| {
+        b.iter(|| kruskal_wallis(&[black_box(&a), black_box(&b_sample)]).unwrap())
+    });
+    let groups: Vec<Vec<f64>> = (0..8).map(|_| skewed_sample(500)).collect();
+    let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+    g.bench_function("anova_8x500", |b| {
+        b.iter(|| one_way_anova(black_box(&refs)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_quantile_regression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quantile_regression");
+    g.sample_size(20);
+    let a = skewed_sample(20_000);
+    let b_sample: Vec<f64> = a.iter().map(|x| x + 0.05).collect();
+    let taus = [0.1, 0.5, 0.9];
+    g.bench_function("two_sample_3taus_20k", |b| {
+        b.iter(|| two_sample(black_box(&a), black_box(&b_sample), &taus, 0.95, 100, 1).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_means,
+    bench_order_statistics,
+    bench_normality,
+    bench_density,
+    bench_tests,
+    bench_quantile_regression
+);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Statistically sound analysis of externally collected measurement CSVs.
+//!
+//! LibSciBench's workflow ends in "datasets that can be read directly with
+//! established statistical tools"; this module closes the loop in the
+//! other direction: bring *any* measurement CSV (one column per series)
+//! and get the paper-compliant analysis — full descriptive statistics,
+//! the Rule 5/6 summary with normality gating, Tukey outlier counts, and
+//! (for two columns) the Rule 7/8 comparison battery.
+
+use scibench::compare::compare_two;
+use scibench::data::DataSet;
+use scibench::experiment::measurement::MeasurementOutcome;
+use scibench_stats::describe::describe;
+use scibench_stats::error::{StatsError, StatsResult};
+use scibench_stats::outlier::tukey_filter;
+
+/// Analyzes one column: description + Rule 5/6 summary + outlier report.
+pub fn analyze_column(data: &DataSet, column: &str, confidence: f64) -> StatsResult<String> {
+    let xs = data
+        .column(column)
+        .ok_or(StatsError::InvalidGroups("no such column"))?;
+    let desc = describe(&xs)?;
+    let summary = MeasurementOutcome {
+        name: column.to_owned(),
+        warmup_samples: vec![],
+        samples: xs.clone(),
+        converged: true,
+    }
+    .summarize(confidence)?;
+    let outliers = tukey_filter(&xs)?;
+    let mut out = format!("column `{column}` ({} rows)\n\n", xs.len());
+    out.push_str(&desc.render());
+    out.push('\n');
+    out.push_str(&summary.render());
+    out.push_str(&format!(
+        "\noutliers (Tukey 1.5 IQR): {} of {} ({:.2}%)\n",
+        outliers.removed_count(),
+        xs.len(),
+        outliers.removed_fraction() * 100.0
+    ));
+    Ok(out)
+}
+
+/// Compares two columns with the full §3.2 battery (including tail
+/// quantiles when the samples are large enough).
+pub fn analyze_pair(
+    data: &DataSet,
+    column_a: &str,
+    column_b: &str,
+    confidence: f64,
+) -> StatsResult<String> {
+    let a = data
+        .column(column_a)
+        .ok_or(StatsError::InvalidGroups("no such column (first)"))?;
+    let b = data
+        .column(column_b)
+        .ok_or(StatsError::InvalidGroups("no such column (second)"))?;
+    // Quantile effects only when both samples can support tail CIs.
+    let taus: &[f64] = if a.len() >= 200 && b.len() >= 200 {
+        &[0.1, 0.5, 0.9]
+    } else {
+        &[]
+    };
+    let cmp = compare_two(column_a, &a, column_b, &b, confidence, taus, 0xC5F)?;
+    let mut out = cmp.render();
+    out.push_str(&format!(
+        "\nverdict: medians differ {} at {:.0}% confidence\n",
+        if cmp.significant() {
+            "SIGNIFICANTLY"
+        } else {
+            "insignificantly"
+        },
+        confidence * 100.0
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_data() -> DataSet {
+        let mut d = DataSet::new(&["fast", "slow"]);
+        for i in 0..400 {
+            let u = (i as f64 + 0.5) / 400.0;
+            let z = scibench_stats::dist::normal::std_normal_inv_cdf(u);
+            d.push_row(&[1.0 + 0.1 * z.abs(), 1.3 + 0.1 * z.abs()]);
+        }
+        d
+    }
+
+    #[test]
+    fn single_column_analysis_renders_everything() {
+        let text = analyze_column(&demo_data(), "fast", 0.95).unwrap();
+        for needle in [
+            "column `fast`",
+            "median=",
+            "skew=",
+            "CI(median)",
+            "outliers (Tukey",
+        ] {
+            assert!(text.contains(needle), "missing {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn pair_analysis_detects_difference() {
+        let text = analyze_pair(&demo_data(), "fast", "slow", 0.95).unwrap();
+        assert!(text.contains("SIGNIFICANTLY"), "{text}");
+        assert!(text.contains("effect size"));
+        assert!(text.contains("q90"), "tail quantiles expected:\n{text}");
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(analyze_column(&demo_data(), "nope", 0.95).is_err());
+        assert!(analyze_pair(&demo_data(), "fast", "nope", 0.95).is_err());
+    }
+
+    #[test]
+    fn small_samples_skip_quantile_effects() {
+        let mut d = DataSet::new(&["a", "b"]);
+        for i in 0..50 {
+            d.push_row(&[i as f64, i as f64 + 5.0]);
+        }
+        let text = analyze_pair(&d, "a", "b", 0.95).unwrap();
+        assert!(!text.contains("q90"));
+    }
+}

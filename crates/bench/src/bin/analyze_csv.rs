@@ -1,0 +1,54 @@
+//! `analyze_csv` — paper-compliant analysis of any measurement CSV.
+//!
+//! Usage:
+//!
+//! ```text
+//! analyze_csv <file.csv> [column]          # Rule 5/6 summary of one column
+//! analyze_csv <file.csv> <colA> <colB>     # Rule 7/8 comparison of two
+//! ```
+//!
+//! The CSV format is the one `scibench::data::DataSet` writes: optional
+//! `# key: value` comment headers, one header row, numeric cells.
+
+use std::process::ExitCode;
+
+use scibench::data::DataSet;
+use scibench_bench::analyze::{analyze_column, analyze_pair};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: analyze_csv <file.csv> [column] | <file.csv> <colA> <colB>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(data) = DataSet::from_csv(&text) else {
+        eprintln!("{path} is not a valid numeric CSV");
+        return ExitCode::FAILURE;
+    };
+
+    let result = match args.len() {
+        1 => {
+            let first = data.columns()[0].clone();
+            analyze_column(&data, &first, 0.95)
+        }
+        2 => analyze_column(&data, &args[1], 0.95),
+        _ => analyze_pair(&data, &args[1], &args[2], 0.95),
+    };
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

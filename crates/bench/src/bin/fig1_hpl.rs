@@ -1,0 +1,12 @@
+//! Regenerates Figure 1: distribution of 50 HPL completion times.
+
+use scibench_bench::figures::fig1_hpl;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let runs = samples_from_env(50);
+    let fig = fig1_hpl::compute(runs, DEFAULT_SEED).expect("figure 1 pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig1_hpl", &fig.dataset()).expect("write csv");
+    println!("raw data: {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 2: normalization of 1M ping-pong samples.
+
+use scibench_bench::figures::fig2_normalization;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let samples = samples_from_env(1_000_000);
+    let fig = fig2_normalization::compute(samples, DEFAULT_SEED).expect("figure 2 pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig2_qq", &fig.dataset()).expect("write csv");
+    println!("Q-Q data: {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: latency significance on two systems.
+
+use scibench_bench::figures::fig3_significance;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let samples = samples_from_env(1_000_000);
+    let fig = fig3_significance::compute(samples, DEFAULT_SEED).expect("figure 3 pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig3_significance", &fig.dataset()).expect("write csv");
+    println!("summary data: {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 4: quantile regression Pilatus vs Piz Dora.
+
+use scibench_bench::figures::fig4_quantreg;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let samples = samples_from_env(1_000_000);
+    let fig = fig4_quantreg::compute(samples, DEFAULT_SEED).expect("figure 4 pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig4_quantreg", &fig.dataset()).expect("write csv");
+    println!("quantile effects: {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: per-process variation of MPI_Reduce on 64 ranks.
+
+use scibench_bench::figures::fig6_variation;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let runs = samples_from_env(1_000);
+    let fig = fig6_variation::compute(64, runs, DEFAULT_SEED).expect("figure 6 pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig6_variation", &fig.dataset()).expect("write csv");
+    println!("per-rank boxes: {}", path.display());
+}

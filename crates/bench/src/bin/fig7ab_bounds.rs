@@ -1,0 +1,12 @@
+//! Regenerates Figure 7(a,b): time/speedup bounds for the pi workload.
+
+use scibench_bench::figures::fig7ab_bounds;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let reps = samples_from_env(10);
+    let fig = fig7ab_bounds::compute(reps, DEFAULT_SEED).expect("figure 7ab pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig7ab_bounds", &fig.dataset()).expect("write csv");
+    println!("scaling data: {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7(c): box/violin/combined latency plots.
+
+use scibench_bench::figures::fig7c_plots;
+use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+
+fn main() {
+    let samples = samples_from_env(1_000_000);
+    let fig = fig7c_plots::compute(samples, DEFAULT_SEED).expect("figure 7c pipeline");
+    println!("{}", fig.render());
+    let path = output::write_csv("fig7c_plots", &fig.dataset()).expect("write csv");
+    println!("plot stats: {}", path.display());
+}

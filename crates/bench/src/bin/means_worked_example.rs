@@ -1,0 +1,10 @@
+//! Regenerates the §3.1.1 worked mean-summarization example.
+
+use scibench_bench::figures::means_example;
+
+fn main() {
+    println!(
+        "{}",
+        means_example::compute().expect("worked example").render()
+    );
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1: the literature survey.
+
+use scibench_bench::figures::table1;
+use scibench_bench::output;
+
+fn main() {
+    let t = table1::compute();
+    println!("{}", t.render());
+    let path = output::write_csv("table1_scores", &t.dataset()).expect("write csv");
+    println!("score distributions: {}", path.display());
+    let raw = output::write_csv("table1_raw", &t.raw_dataset()).expect("write raw csv");
+    println!("raw per-paper grades: {}", raw.display());
+}

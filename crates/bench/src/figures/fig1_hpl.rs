@@ -1,0 +1,180 @@
+//! Figure 1: distribution of completion times for 50 HPL runs on 64
+//! nodes of Piz Daint (N = 314k).
+//!
+//! The paper annotates the density with: Min (77.38 Tflop/s — the
+//! fastest run), the 95 % quantile (65.23), arithmetic mean (72.79),
+//! median (69.92), the 99 % CI of the median, and Max (61.23 Tflop/s —
+//! the slowest run). The point of the figure: a single number like
+//! "77.38 Tflop/s" hides a ~20 % spread.
+
+use scibench::data::DataSet;
+use scibench::plot::ascii::render_density;
+use scibench_sim::hpl::{hpl_campaign, HplConfig};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci::{median_ci, ConfidenceInterval};
+use scibench_stats::error::StatsResult;
+use scibench_stats::kde::{kde, Bandwidth, DensityEstimate};
+use scibench_stats::quantile::percentile;
+use scibench_stats::summary::arithmetic_mean;
+
+/// Regenerated Figure 1 data.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Completion times in seconds, one per run.
+    pub times_s: Vec<f64>,
+    /// Achieved rates in Tflop/s, one per run.
+    pub tflops: Vec<f64>,
+    /// Density estimate of the completion times.
+    pub density: DensityEstimate,
+    /// Fastest run (min time), seconds.
+    pub min_s: f64,
+    /// Slowest run (max time), seconds.
+    pub max_s: f64,
+    /// Median completion time, seconds.
+    pub median_s: f64,
+    /// Arithmetic mean completion time, seconds.
+    pub mean_s: f64,
+    /// 95th percentile of completion time, seconds.
+    pub q95_s: f64,
+    /// 99 % nonparametric CI of the median, seconds.
+    pub median_ci_s: Option<ConfidenceInterval>,
+    /// Total flop per run.
+    pub flops: f64,
+}
+
+/// Runs the Figure 1 campaign.
+pub fn compute(runs: usize, seed: u64) -> StatsResult<Fig1> {
+    let machine = MachineSpec::piz_daint();
+    let config = HplConfig::paper_figure1();
+    let mut rng = SimRng::new(seed).fork("fig1");
+    let campaign = hpl_campaign(&machine, &config, runs, &mut rng);
+    let times_s: Vec<f64> = campaign.iter().map(|r| r.time_s).collect();
+    let tflops: Vec<f64> = campaign.iter().map(|r| r.flops_per_s / 1e12).collect();
+
+    let density = kde(&times_s, Bandwidth::Silverman, 512)?;
+    Ok(Fig1 {
+        min_s: times_s.iter().cloned().fold(f64::INFINITY, f64::min),
+        max_s: times_s.iter().cloned().fold(0.0, f64::max),
+        median_s: percentile(&times_s, 50.0)?,
+        mean_s: arithmetic_mean(&times_s)?,
+        q95_s: percentile(&times_s, 95.0)?,
+        median_ci_s: median_ci(&times_s, 0.99).ok(),
+        density,
+        flops: config.flops(),
+        times_s,
+        tflops,
+    })
+}
+
+impl Fig1 {
+    /// Converts a completion time into the Tflop/s the paper annotates.
+    pub fn tflops_at(&self, time_s: f64) -> f64 {
+        self.flops / time_s / 1e12
+    }
+
+    /// Renders the figure: annotated statistics plus an ASCII density.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 1: Distribution of completion times for HPL runs (Piz Daint model)\n",
+        );
+        out.push_str(&format!("runs: {}\n", self.times_s.len()));
+        out.push_str(&format!(
+            "Min:           {:7.1} s = {:6.2} Tflop/s (the number a paper would brag about)\n",
+            self.min_s,
+            self.tflops_at(self.min_s)
+        ));
+        out.push_str(&format!(
+            "Median:        {:7.1} s = {:6.2} Tflop/s\n",
+            self.median_s,
+            self.tflops_at(self.median_s)
+        ));
+        out.push_str(&format!(
+            "Arith. mean:   {:7.1} s = {:6.2} Tflop/s\n",
+            self.mean_s,
+            self.tflops_at(self.mean_s)
+        ));
+        out.push_str(&format!(
+            "95% quantile:  {:7.1} s = {:6.2} Tflop/s\n",
+            self.q95_s,
+            self.tflops_at(self.q95_s)
+        ));
+        out.push_str(&format!(
+            "Max:           {:7.1} s = {:6.2} Tflop/s (slowest run)\n",
+            self.max_s,
+            self.tflops_at(self.max_s)
+        ));
+        if let Some(ci) = &self.median_ci_s {
+            out.push_str(&format!(
+                "99% CI(median): [{:.1}, {:.1}] s\n",
+                ci.lower, ci.upper
+            ));
+        }
+        out.push_str(&format!(
+            "spread: slowest/fastest = {:.3} ({:.1}% variation)\n\n",
+            self.max_s / self.min_s,
+            (self.max_s / self.min_s - 1.0) * 100.0
+        ));
+        out.push_str(&render_density(&self.density, 78, 12));
+        out
+    }
+
+    /// Exports the raw runs as CSV.
+    pub fn dataset(&self) -> DataSet {
+        let mut d = DataSet::new(&["run", "time_s", "tflops"])
+            .with_metadata("figure", "1")
+            .with_metadata("system", "Piz Daint (simulated)")
+            .with_metadata("workload", "HPL N=314k, 64 nodes");
+        for (i, (&t, &f)) in self.times_s.iter().zip(&self.tflops).enumerate() {
+            d.push_row(&[i as f64, t, f]);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_runs_have_paper_spread() {
+        let f = compute(50, 42).unwrap();
+        assert_eq!(f.times_s.len(), 50);
+        // ~20% variation claim.
+        let spread = f.max_s / f.min_s - 1.0;
+        assert!((0.05..0.45).contains(&spread), "spread {spread}");
+        // Ordering of the annotated statistics.
+        assert!(f.min_s < f.median_s && f.median_s < f.max_s);
+        assert!(f.median_s <= f.q95_s);
+    }
+
+    #[test]
+    fn tflops_annotations_are_consistent() {
+        let f = compute(50, 42).unwrap();
+        // Fastest time = highest rate.
+        let best = f.tflops.iter().cloned().fold(0.0, f64::max);
+        assert!((f.tflops_at(f.min_s) - best).abs() < 1e-9);
+        // Rates in the paper's 61–78 Tflop/s ballpark.
+        assert!(f.tflops_at(f.min_s) < 80.0);
+        assert!(f.tflops_at(f.max_s) > 50.0);
+    }
+
+    #[test]
+    fn render_and_dataset() {
+        let f = compute(50, 1).unwrap();
+        let text = f.render();
+        assert!(text.contains("Figure 1"));
+        assert!(text.contains("Tflop/s"));
+        assert!(text.contains("CI(median)"));
+        let d = f.dataset();
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.metadata("figure"), Some("1"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = compute(20, 7).unwrap();
+        let b = compute(20, 7).unwrap();
+        assert_eq!(a.times_s, b.times_s);
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 6: variation across 64 processes in `MPI_Reduce`.
+//!
+//! 1,000 reductions on 64 processes; one box plot per process (whiskers:
+//! 1.5 IQR) of that rank's completion times. The structure: leaf ranks
+//! exit after a single send, interior ranks wait through more tree
+//! levels, and the ANOVA across ranks is — as the paper reports —
+//! decisively significant.
+
+use scibench::data::DataSet;
+use scibench::parallel::{summarize_across_processes, ProcessAnalysis};
+use scibench::plot::ascii::render_box;
+use scibench::plot::boxplot::{BoxPlotStats, WhiskerRule};
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::collectives::reduce;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::rng::SimRng;
+use scibench_stats::error::StatsResult;
+
+/// Regenerated Figure 6 data.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Per-rank completion-time samples (µs): `per_rank[r][run]`.
+    pub per_rank_us: Vec<Vec<f64>>,
+    /// Box statistics per rank (whiskers: 1.5 IQR as in the figure).
+    pub boxes: Vec<BoxPlotStats>,
+    /// The Rule 10 ANOVA across ranks.
+    pub analysis: ProcessAnalysis,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+/// Runs the Figure 6 campaign: `runs` reductions on `p` processes.
+pub fn compute(p: usize, runs: usize, seed: u64) -> StatsResult<Fig6> {
+    let machine = MachineSpec::piz_daint();
+    let mut rng = SimRng::new(seed).fork("fig6");
+    let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
+
+    let mut per_rank_us: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); p];
+    for _ in 0..runs {
+        let outcome = reduce(&machine, &alloc, 8, &mut rng);
+        for (r, &t) in outcome.per_rank_done_ns.iter().enumerate() {
+            per_rank_us[r].push(t * 1e-3);
+        }
+    }
+
+    let boxes = per_rank_us
+        .iter()
+        .enumerate()
+        .map(|(r, xs)| BoxPlotStats::from_samples(&format!("rank {r}"), xs, WhiskerRule::TukeyIqr))
+        .collect::<StatsResult<Vec<_>>>()?;
+    let analysis = summarize_across_processes(&per_rank_us, 0.05)?;
+    Ok(Fig6 {
+        per_rank_us,
+        boxes,
+        analysis,
+        runs,
+    })
+}
+
+impl Fig6 {
+    /// Renders a sample of ranks as ASCII box plots plus the ANOVA
+    /// verdict.
+    pub fn render(&self) -> String {
+        let hi = self
+            .boxes
+            .iter()
+            .map(|b| b.five_number.max)
+            .fold(0.0, f64::max);
+        let mut out = format!(
+            "Figure 6: Variation across {} processes in MPI_Reduce ({} runs)\n\
+             (whiskers depict the 1.5 IQR)\n\n",
+            self.boxes.len(),
+            self.runs
+        );
+        // Print every 4th rank to keep the chart readable.
+        for b in self.boxes.iter().step_by(4) {
+            out.push_str(&render_box(b, 0.0, hi * 1.02, 70));
+        }
+        out.push_str(&format!(
+            "\nANOVA across processes: F = {:.1} (p = {:.2e}) -> ranks {} from one population\n",
+            self.analysis.anova.f,
+            self.analysis.anova.p_value,
+            if self.analysis.processes_differ {
+                "do NOT come"
+            } else {
+                "come"
+            },
+        ));
+        out.push_str(
+            "Rule 10: with significantly different per-rank timings, a plain average\n\
+             across all ranks would be meaningless; report per-rank data or the max.\n",
+        );
+        out
+    }
+
+    /// Exports per-rank box statistics as CSV.
+    pub fn dataset(&self) -> DataSet {
+        let mut d = DataSet::new(&[
+            "rank", "min", "q1", "median", "q3", "max", "mean", "outliers",
+        ])
+        .with_metadata("figure", "6")
+        .with_metadata("whiskers", "1.5 IQR");
+        for (r, b) in self.boxes.iter().enumerate() {
+            d.push_row(&[
+                r as f64,
+                b.five_number.min,
+                b.five_number.q1,
+                b.five_number.median,
+                b.five_number.q3,
+                b.five_number.max,
+                b.mean,
+                b.outliers.len() as f64,
+            ]);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_differ_significantly() {
+        let f = compute(64, 100, 42).unwrap();
+        assert!(
+            f.analysis.processes_differ,
+            "p = {}",
+            f.analysis.anova.p_value
+        );
+    }
+
+    #[test]
+    fn tree_structure_visible() {
+        let f = compute(64, 100, 42).unwrap();
+        // Rank 0 (the root) waits through every round: its median must be
+        // the largest; odd ranks (leaves) exit earliest.
+        let med = |r: usize| f.boxes[r].five_number.median;
+        assert!(med(0) > med(1) * 2.0, "root {} vs leaf {}", med(0), med(1));
+        assert!(med(63) < med(0));
+    }
+
+    #[test]
+    fn all_ranks_have_box_stats() {
+        let f = compute(16, 50, 1).unwrap();
+        assert_eq!(f.boxes.len(), 16);
+        assert_eq!(f.per_rank_us.len(), 16);
+        assert!(f.per_rank_us.iter().all(|v| v.len() == 50));
+    }
+
+    #[test]
+    fn render_and_dataset() {
+        let f = compute(16, 50, 2).unwrap();
+        let text = f.render();
+        assert!(text.contains("1.5 IQR"));
+        assert!(text.contains("ANOVA"));
+        assert_eq!(f.dataset().len(), 16);
+    }
+}

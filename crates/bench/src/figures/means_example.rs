@@ -1,0 +1,102 @@
+//! The worked HPL-summarization example of §3.1.1.
+//!
+//! Three 100-Gflop runs with times (10, 100, 40) s:
+//!
+//! - arithmetic mean of the *times*: 50 s → 2 Gflop/s (correct);
+//! - arithmetic mean of the *rates*: 4.5 Gflop/s (wrong — Rule 3);
+//! - harmonic mean of the rates: 2 Gflop/s (correct);
+//! - geometric mean of the peak-relative *ratios* (1, 0.1, 0.25): 0.29 →
+//!   "2.9 Gflop/s" (wrong — Rule 4).
+
+use scibench::metric::{Cost, Ratio};
+use scibench::units::Unit;
+use scibench_stats::error::StatsResult;
+
+/// The numbers of the worked example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeansExample {
+    /// Arithmetic mean of the execution times, seconds.
+    pub mean_time_s: f64,
+    /// Correct rate derived from summarized costs, Gflop/s.
+    pub correct_rate: f64,
+    /// Harmonic mean of the per-run rates, Gflop/s (equals the correct
+    /// rate).
+    pub harmonic_rate: f64,
+    /// The misleading arithmetic mean of the per-run rates, Gflop/s.
+    pub misleading_arith_rate: f64,
+    /// Geometric mean of the peak-relative ratios.
+    pub geometric_ratio: f64,
+    /// The misleading "efficiency rate" implied by the geometric mean,
+    /// Gflop/s.
+    pub misleading_geo_rate: f64,
+}
+
+/// Work per run, Gflop.
+pub const WORK_GFLOP: f64 = 100.0;
+/// Execution times of the three runs, seconds.
+pub const TIMES_S: [f64; 3] = [10.0, 100.0, 40.0];
+/// Assumed peak rate, Gflop/s.
+pub const PEAK_GFLOPS: f64 = 10.0;
+
+/// Computes the example.
+pub fn compute() -> StatsResult<MeansExample> {
+    let costs = Cost::new(TIMES_S.to_vec(), Unit::Seconds);
+    let mean_time_s = costs.mean()?;
+    let correct_rate = costs.aggregate_rate(WORK_GFLOP)?;
+    let rates = costs.rate_for_work(WORK_GFLOP, Unit::FlopPerSecond);
+    let harmonic_rate = rates.mean()?;
+    let misleading_arith_rate = rates.arithmetic_mean_for_comparison_only()?;
+    let ratios = Ratio::new(rates.values().iter().map(|r| r / PEAK_GFLOPS).collect());
+    let geometric_ratio = ratios.geometric_mean_last_resort()?;
+    Ok(MeansExample {
+        mean_time_s,
+        correct_rate,
+        harmonic_rate,
+        misleading_arith_rate,
+        geometric_ratio,
+        misleading_geo_rate: geometric_ratio * PEAK_GFLOPS,
+    })
+}
+
+impl MeansExample {
+    /// Renders the worked example as the paper narrates it.
+    pub fn render(&self) -> String {
+        format!(
+            "Worked example (§3.1.1): three 100-Gflop HPL runs, times (10, 100, 40) s\n\n\
+             arithmetic mean of times:        {:5.1} s  -> {:.1} Gflop/s  [CORRECT, Rule 3]\n\
+             harmonic mean of rates:          {:5.1} Gflop/s            [CORRECT, Rule 3]\n\
+             arithmetic mean of rates:        {:5.1} Gflop/s            [WRONG: overweights the fast run]\n\
+             geometric mean of ratios (peak): {:5.2}   -> {:.1} Gflop/s  [WRONG, Rule 4]\n",
+            self.mean_time_s,
+            self.correct_rate,
+            self.harmonic_rate,
+            self.misleading_arith_rate,
+            self.geometric_ratio,
+            self.misleading_geo_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_numbers_exactly() {
+        let e = compute().unwrap();
+        assert_eq!(e.mean_time_s, 50.0);
+        assert_eq!(e.correct_rate, 2.0);
+        assert!((e.harmonic_rate - 2.0).abs() < 1e-12);
+        assert!((e.misleading_arith_rate - 4.5).abs() < 1e-12);
+        assert!((e.geometric_ratio - 0.2924).abs() < 1e-3);
+        assert!((e.misleading_geo_rate - 2.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn render_tells_the_story() {
+        let text = compute().unwrap().render();
+        assert!(text.contains("CORRECT"));
+        assert!(text.contains("WRONG"));
+        assert!(text.contains("4.5"));
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per paper artifact.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig1_hpl`] | Figure 1 — distribution of 50 HPL completion times |
+//! | [`table1`] | Table 1 — literature survey |
+//! | [`fig2_normalization`] | Figure 2 — normalization of 1M ping-pong samples |
+//! | [`fig3_significance`] | Figure 3 — latency significance on two systems |
+//! | [`fig4_quantreg`] | Figure 4 — quantile regression Dora vs Pilatus |
+//! | [`fig5_reduce`] | Figure 5 — MPI_Reduce scaling, powers of two vs others |
+//! | [`fig6_variation`] | Figure 6 — per-process variation of MPI_Reduce |
+//! | [`fig7ab_bounds`] | Figure 7(a,b) — time/speedup bounds for π |
+//! | [`fig7c_plots`] | Figure 7(c) — box/violin/combined latency plots |
+//! | [`means_example`] | §3.1.1 — worked mean-summarization example |
+
+pub mod fig1_hpl;
+pub mod fig2_normalization;
+pub mod fig3_significance;
+pub mod fig4_quantreg;
+pub mod fig5_reduce;
+pub mod fig6_variation;
+pub mod fig7ab_bounds;
+pub mod fig7c_plots;
+pub mod means_example;
+pub mod table1;

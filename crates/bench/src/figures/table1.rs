@@ -1,0 +1,128 @@
+//! Table 1: the literature survey.
+//!
+//! Thin adapter over `scibench-survey`: builds the embedded dataset,
+//! renders the table, and exports the per-group score distributions as
+//! CSV.
+
+use scibench::data::DataSet;
+use scibench_survey::score::group_scores;
+use scibench_survey::table::render_table1;
+use scibench_survey::{paper_dataset, Survey};
+
+/// Regenerated Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// The survey dataset.
+    pub survey: Survey,
+}
+
+/// Builds the table.
+pub fn compute() -> Table1 {
+    Table1 {
+        survey: paper_dataset(),
+    }
+}
+
+impl Table1 {
+    /// Renders the table as text.
+    pub fn render(&self) -> String {
+        render_table1(&self.survey)
+    }
+
+    /// Exports the full per-paper grade matrix as CSV (one row per paper,
+    /// one 0/1 column per criterion, −1 for not-applicable) — the raw
+    /// data behind the rendered table, in the spirit of the paper's "the
+    /// raw data can be found on the LibSciBench webpage".
+    pub fn raw_dataset(&self) -> DataSet {
+        use scibench_survey::model::{AnalysisCriterion, DesignCriterion, Grade};
+        let mut columns: Vec<String> = vec![
+            "conference".into(),
+            "year".into(),
+            "index".into(),
+            "applicable".into(),
+            "design_score".into(),
+        ];
+        for c in DesignCriterion::ALL {
+            columns.push(format!("design_{c:?}").to_lowercase());
+        }
+        for c in AnalysisCriterion::ALL {
+            columns.push(format!("analysis_{c:?}").to_lowercase());
+        }
+        let refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let mut d = DataSet::new(&refs).with_metadata("table", "1-raw");
+        let encode = |g: Grade| match g {
+            Grade::Satisfied => 1.0,
+            Grade::Unsatisfied => 0.0,
+            Grade::NotApplicable => -1.0,
+        };
+        for p in &self.survey.papers {
+            let mut row = vec![
+                p.conference as usize as f64,
+                p.year as f64,
+                p.index as f64,
+                p.applicable as u8 as f64,
+                p.design_score() as f64,
+            ];
+            row.extend(
+                DesignCriterion::ALL
+                    .iter()
+                    .map(|&c| encode(p.design_grade(c))),
+            );
+            row.extend(
+                AnalysisCriterion::ALL
+                    .iter()
+                    .map(|&c| encode(p.analysis_grade(c))),
+            );
+            d.push_row(&row);
+        }
+        d
+    }
+
+    /// Exports the per-group score distributions as CSV.
+    pub fn dataset(&self) -> DataSet {
+        let mut d = DataSet::new(&["group", "min", "q1", "median", "q3", "max"])
+            .with_metadata("table", "1")
+            .with_metadata("groups", "conference-major order, 4 years each");
+        for (i, g) in group_scores(&self.survey).iter().enumerate() {
+            if let Some(b) = g.box_stats {
+                d.push_row(&[i as f64, b.min, b.q1, b.median, b.q3, b.max]);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_regenerates_with_counts() {
+        let t = compute();
+        let text = t.render();
+        assert!(text.contains("(79/95)"));
+        assert!(text.contains("(7/95)"));
+        assert!(text.contains("(51/95)"));
+    }
+
+    #[test]
+    fn dataset_has_twelve_groups() {
+        assert_eq!(compute().dataset().len(), 12);
+    }
+
+    #[test]
+    fn raw_dataset_round_trips_the_aggregates() {
+        let t = compute();
+        let raw = t.raw_dataset();
+        assert_eq!(raw.len(), 120);
+        // Reconstitute one aggregate from the raw matrix.
+        let proc_col = raw.column("design_processor").unwrap();
+        let satisfied = proc_col.iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(satisfied, 79);
+        let na = proc_col.iter().filter(|&&v| v == -1.0).count();
+        assert_eq!(na, 25);
+        // CSV round trip preserves everything.
+        let back = scibench::data::DataSet::from_csv(&raw.to_csv()).unwrap();
+        assert_eq!(back, raw);
+    }
+}

@@ -1,0 +1,36 @@
+//! CSV export for figure data.
+
+use std::fs;
+use std::io;
+use std::path::PathBuf;
+
+use scibench::data::DataSet;
+
+/// Directory the figure binaries write CSV data into.
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from("figures")
+}
+
+/// Writes a dataset to `figures/<name>.csv`, creating the directory.
+pub fn write_csv(name: &str, data: &DataSet) -> io::Result<PathBuf> {
+    let dir = figures_dir();
+    fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, data.to_csv())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_round_trips() {
+        let mut d = DataSet::new(&["a", "b"]).with_metadata("figure", "test");
+        d.push_row(&[1.0, 2.0]);
+        let path = write_csv("unit_test_output", &d).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(DataSet::from_csv(&text).unwrap(), d);
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,319 @@
+//! Campaign orchestration: a factorial [`Design`] executed through a
+//! [`MeasurementPlan`] into an [`crate::report::ExperimentReport`].
+//!
+//! This is the piece that makes the library *a* benchmarking harness
+//! rather than a box of parts: declare the factors, declare how to
+//! measure one configuration, and the campaign runner handles randomized
+//! execution order (§4.1.1), per-point adaptive measurement (§4.2.2),
+//! deterministic seeding, and optional thread-parallel execution across
+//! design points.
+//!
+//! Parallel execution is deterministic: every design point derives its
+//! random stream from `(campaign seed, point index)`, so results are
+//! identical whether the campaign runs on 1 thread or 16.
+
+use std::sync::Mutex;
+
+use scibench_sim::rng::SimRng;
+use scibench_stats::error::{StatsError, StatsResult};
+
+use super::design::{Design, RunPoint};
+use super::measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary};
+
+/// Configuration of a campaign run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignConfig {
+    /// Seed for order randomization and per-point streams.
+    pub seed: u64,
+    /// Worker threads (1 = sequential). Points are distributed statically.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// One executed design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The factor levels of this run.
+    pub point: RunPoint,
+    /// The raw measurement outcome.
+    pub outcome: MeasurementOutcome,
+}
+
+/// The executed campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Executed runs, in design (full-factorial) order.
+    pub runs: Vec<CampaignRun>,
+}
+
+impl CampaignResult {
+    /// Summarizes every run at the given confidence level.
+    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(RunPoint, MeasurementSummary)>> {
+        self.runs
+            .iter()
+            .map(|r| Ok((r.point.clone(), r.outcome.summarize(confidence)?)))
+            .collect()
+    }
+
+    /// The runs whose adaptive stopping did not converge (these need
+    /// attention before publication).
+    pub fn unconverged(&self) -> Vec<&RunPoint> {
+        self.runs
+            .iter()
+            .filter(|r| !r.outcome.converged)
+            .map(|r| &r.point)
+            .collect()
+    }
+}
+
+/// Executes `design` with `plan` at every point.
+///
+/// `measure` maps `(point, rng)` to one measured cost; it is called
+/// repeatedly per point under the plan's stopping rule. The function must
+/// be `Sync` because points may execute on worker threads.
+pub fn run_campaign<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    measure: F,
+) -> StatsResult<CampaignResult>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let threads = config.threads.clamp(1, points.len());
+
+    // Execution order is randomized (§4.1.1) but the point index that
+    // seeds each stream is the *design* index, so results do not depend
+    // on the shuffled order.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let mut order_rng = SimRng::new(config.seed).fork("campaign-order");
+    order_rng.shuffle(&mut order);
+
+    let root = SimRng::new(config.seed);
+    let run_one = |design_idx: usize| -> StatsResult<CampaignRun> {
+        let point = &points[design_idx];
+        let mut rng = root.fork_indexed("campaign-point", design_idx as u64);
+        let outcome = plan.run(|| measure(point, &mut rng))?;
+        Ok(CampaignRun {
+            point: point.clone(),
+            outcome,
+        })
+    };
+
+    let mut slots: Vec<Option<CampaignRun>> = (0..points.len()).map(|_| None).collect();
+    if threads == 1 {
+        for &idx in &order {
+            slots[idx] = Some(run_one(idx)?);
+        }
+    } else {
+        // Static distribution of the shuffled order across workers;
+        // results land in design order regardless of scheduling.
+        let error: Mutex<Option<StatsError>> = Mutex::new(None);
+        let results: Mutex<Vec<(usize, CampaignRun)>> =
+            Mutex::new(Vec::with_capacity(points.len()));
+        std::thread::scope(|scope| {
+            for chunk in order.chunks(order.len().div_ceil(threads)) {
+                let error = &error;
+                let results = &results;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    for &idx in chunk {
+                        match run_one(idx) {
+                            Ok(run) => results.lock().expect("poisoned").push((idx, run)),
+                            Err(e) => {
+                                *error.lock().expect("poisoned") = Some(e);
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = error.into_inner().expect("poisoned") {
+            return Err(e);
+        }
+        for (idx, run) in results.into_inner().expect("poisoned") {
+            slots[idx] = Some(run);
+        }
+    }
+
+    let runs = slots
+        .into_iter()
+        .map(|s| s.expect("every design point executed"))
+        .collect();
+    Ok(CampaignResult { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::design::Factor;
+    use crate::experiment::measurement::StoppingRule;
+
+    fn demo_design() -> Design {
+        Design::new(vec![
+            Factor::new("system", &["a", "b"]),
+            Factor::numeric("size", &[8.0, 64.0, 512.0]),
+        ])
+    }
+
+    fn demo_measure(point: &RunPoint, rng: &mut SimRng) -> f64 {
+        let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+        let size: f64 = point.level(1).parse().unwrap();
+        base + size * 0.001 + rng.uniform() * 0.01
+    }
+
+    #[test]
+    fn campaign_covers_all_points_in_design_order() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(20));
+        let result = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 1,
+                threads: 1,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        assert_eq!(result.runs.len(), 6);
+        assert_eq!(result.runs[0].point.levels, vec!["a", "8"]);
+        assert_eq!(result.runs[5].point.levels, vec!["b", "512"]);
+        assert!(result.unconverged().is_empty());
+        for r in &result.runs {
+            assert_eq!(r.outcome.samples.len(), 20);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(15));
+        let seq = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 7,
+                threads: 1,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        let par = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 7,
+                threads: 4,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(5));
+        let a = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 1,
+                threads: 2,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        let b = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 2,
+                threads: 2,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn summaries_reflect_factor_effects() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(30));
+        let result = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 3,
+                threads: 2,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        let summaries = result.summaries(0.95).unwrap();
+        // System "b" is slower than "a" at every size.
+        for size in ["8", "64", "512"] {
+            let mean_of = |sys: &str| {
+                summaries
+                    .iter()
+                    .find(|(p, _)| p.level(0) == sys && p.level(1) == size)
+                    .map(|(_, s)| s.mean)
+                    .unwrap()
+            };
+            assert!(mean_of("b") > mean_of("a") + 0.5, "size {size}");
+        }
+    }
+
+    #[test]
+    fn adaptive_plans_work_in_campaigns() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+            confidence: 0.95,
+            rel_error: 0.05,
+            batch: 10,
+            max_samples: 5_000,
+        });
+        let result = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 4,
+                threads: 3,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        assert!(
+            result.unconverged().is_empty(),
+            "{:?}",
+            result.unconverged()
+        );
+    }
+
+    #[test]
+    fn failing_measurement_surfaces_error() {
+        // A plan that cannot run (fixed count 0) propagates the error.
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(0));
+        let err = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 5,
+                threads: 2,
+            },
+            demo_measure,
+        );
+        assert!(err.is_err());
+    }
+}

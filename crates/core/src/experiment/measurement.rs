@@ -1,0 +1,604 @@
+//! The measurement loop (§4.2 of the paper) and Rule 5/6-compliant
+//! summaries.
+//!
+//! A [`MeasurementPlan`] describes *how* to measure one operation:
+//! how many warmup iterations to discard (§4.1.2 "Warmup"), and when to
+//! stop — either after a fixed count, or adaptively once the confidence
+//! interval is tight enough (§4.2.2 "Number of measurements"):
+//!
+//! * [`StoppingRule::AdaptiveMeanCi`] uses the closed-form
+//!   `n = (s·t(n−1, α/2)/(e·x̄))²` for (approximately) normal data;
+//! * [`StoppingRule::AdaptiveMedianCi`] recomputes the nonparametric CI
+//!   of the median every `batch` measurements — the distribution-free
+//!   variant the paper recommends when normality cannot be assumed.
+//!
+//! [`MeasurementOutcome::summarize`] produces a [`MeasurementSummary`]
+//! that always contains the nonparametric statistics, runs the
+//! Shapiro–Wilk diagnostic (Rule 6), and only blesses the parametric mean
+//! CI when the diagnostic does not reject normality.
+
+use serde::{Deserialize, Serialize};
+
+use scibench_stats::ci::{self, ConfidenceInterval};
+use scibench_stats::error::{StatsError, StatsResult};
+use scibench_stats::normality::{shapiro_wilk_thinned, ShapiroWilk};
+use scibench_stats::quantile::FiveNumberSummary;
+use scibench_stats::summary;
+
+/// When to stop measuring.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StoppingRule {
+    /// Exactly `n` samples (after warmup).
+    FixedCount(usize),
+    /// Stop when the `confidence` CI of the *mean* is within
+    /// `rel_error · x̄`, re-planned with the §4.2.2 formula after each
+    /// batch. Assumes approximate normality — pair with the summary's
+    /// diagnostic. Never exceeds `max_samples`.
+    AdaptiveMeanCi {
+        /// CI confidence level, e.g. 0.95.
+        confidence: f64,
+        /// Allowed relative half-width `e`, e.g. 0.05.
+        rel_error: f64,
+        /// Samples per planning round ("recompute after each n_i = i·k").
+        batch: usize,
+        /// Hard ceiling on the number of samples.
+        max_samples: usize,
+    },
+    /// Stop when the `confidence` nonparametric CI of the *median* is
+    /// within `rel_error · median`; checked every `batch` samples.
+    AdaptiveMedianCi {
+        /// CI confidence level, e.g. 0.95.
+        confidence: f64,
+        /// Allowed relative half-width `e`, e.g. 0.05.
+        rel_error: f64,
+        /// Samples between CI recomputations (the paper: "choose k based
+        /// on the cost of the experiment").
+        batch: usize,
+        /// Hard ceiling on the number of samples.
+        max_samples: usize,
+    },
+}
+
+/// A plan for measuring one operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementPlan {
+    /// Name of the measured operation (for reports).
+    pub name: String,
+    /// Iterations discarded before recording (§4.1.2: "the first
+    /// measurement iteration should be excluded").
+    pub warmup_iterations: usize,
+    /// The stopping rule.
+    pub stopping: StoppingRule,
+}
+
+impl MeasurementPlan {
+    /// Creates a plan with no warmup and a default fixed count of 30.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            warmup_iterations: 0,
+            stopping: StoppingRule::FixedCount(30),
+        }
+    }
+
+    /// Sets the warmup iteration count.
+    pub fn warmup(mut self, iterations: usize) -> Self {
+        self.warmup_iterations = iterations;
+        self
+    }
+
+    /// Sets the stopping rule.
+    pub fn stopping(mut self, rule: StoppingRule) -> Self {
+        self.stopping = rule;
+        self
+    }
+
+    /// Runs the plan: `operation` is invoked repeatedly and must return
+    /// the measured cost of one execution (seconds, nanoseconds — any
+    /// consistent cost unit).
+    pub fn run(&self, mut operation: impl FnMut() -> f64) -> StatsResult<MeasurementOutcome> {
+        self.validate()?;
+        // Warmup: execute and discard.
+        let mut warmup = Vec::with_capacity(self.warmup_iterations);
+        for _ in 0..self.warmup_iterations {
+            warmup.push(operation());
+        }
+
+        let mut samples = Vec::new();
+        let converged = match self.stopping {
+            StoppingRule::FixedCount(n) => {
+                samples.reserve(n);
+                for _ in 0..n {
+                    samples.push(operation());
+                }
+                true
+            }
+            StoppingRule::AdaptiveMeanCi {
+                confidence,
+                rel_error,
+                batch,
+                max_samples,
+            } => {
+                let mut converged = false;
+                // Pilot batch (at least 5 to make the t-quantile sane).
+                let pilot = batch.max(5);
+                for _ in 0..pilot.min(max_samples) {
+                    samples.push(operation());
+                }
+                while samples.len() < max_samples {
+                    let required = ci::required_samples_normal(&samples, confidence, rel_error)?;
+                    if required <= samples.len() {
+                        converged = true;
+                        break;
+                    }
+                    let next = required.min(max_samples).min(samples.len() + batch.max(1));
+                    while samples.len() < next {
+                        samples.push(operation());
+                    }
+                }
+                // Final check if we filled up to a boundary.
+                if !converged {
+                    converged = ci::required_samples_normal(&samples, confidence, rel_error)?
+                        <= samples.len();
+                }
+                converged
+            }
+            StoppingRule::AdaptiveMedianCi {
+                confidence,
+                rel_error,
+                batch,
+                max_samples,
+            } => {
+                let mut converged = false;
+                let batch = batch.max(1);
+                while samples.len() < max_samples {
+                    for _ in 0..batch.min(max_samples - samples.len()) {
+                        samples.push(operation());
+                    }
+                    if let Some((_ci, tight)) =
+                        ci::nonparametric_stop_check(&samples, confidence, rel_error)?
+                    {
+                        if tight {
+                            converged = true;
+                            break;
+                        }
+                    }
+                }
+                converged
+            }
+        };
+
+        Ok(MeasurementOutcome {
+            name: self.name.clone(),
+            warmup_samples: warmup,
+            samples,
+            converged,
+        })
+    }
+
+    fn validate(&self) -> StatsResult<()> {
+        match self.stopping {
+            StoppingRule::FixedCount(n) => {
+                if n == 0 {
+                    return Err(StatsError::InvalidParameter {
+                        name: "n",
+                        value: 0.0,
+                    });
+                }
+            }
+            StoppingRule::AdaptiveMeanCi {
+                confidence,
+                rel_error,
+                max_samples,
+                ..
+            }
+            | StoppingRule::AdaptiveMedianCi {
+                confidence,
+                rel_error,
+                max_samples,
+                ..
+            } => {
+                if !(confidence > 0.0 && confidence < 1.0) {
+                    return Err(StatsError::InvalidProbability {
+                        name: "confidence",
+                        value: confidence,
+                    });
+                }
+                if !(rel_error > 0.0 && rel_error < 1.0) {
+                    return Err(StatsError::InvalidProbability {
+                        name: "rel_error",
+                        value: rel_error,
+                    });
+                }
+                if max_samples == 0 {
+                    return Err(StatsError::InvalidParameter {
+                        name: "max_samples",
+                        value: 0.0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The raw result of running a measurement plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementOutcome {
+    /// Operation name.
+    pub name: String,
+    /// Discarded warmup measurements (kept so reports can show them).
+    pub warmup_samples: Vec<f64>,
+    /// The recorded measurements.
+    pub samples: Vec<f64>,
+    /// Whether the adaptive stopping criterion was met (always true for
+    /// fixed-count plans).
+    pub converged: bool,
+}
+
+impl MeasurementOutcome {
+    /// Summarizes the measurements per Rules 5 and 6.
+    pub fn summarize(&self, confidence: f64) -> StatsResult<MeasurementSummary> {
+        let xs = &self.samples;
+        let five = FiveNumberSummary::from_samples(xs)?;
+        let mean = summary::arithmetic_mean(xs)?;
+        let deterministic = five.max == five.min;
+
+        let (std_dev, cov) = if xs.len() >= 2 && !deterministic {
+            let s = summary::sample_std_dev(xs)?;
+            (Some(s), if mean != 0.0 { Some(s / mean) } else { None })
+        } else {
+            (None, None)
+        };
+
+        // Rule 6: diagnostic checking before using normal statistics.
+        let normality = if deterministic || xs.len() < 3 {
+            None
+        } else {
+            shapiro_wilk_thinned(xs, 2000).ok()
+        };
+        let normal_ok = normality
+            .as_ref()
+            .map(|sw| !sw.rejects_normality(0.05))
+            .unwrap_or(false);
+
+        let mean_ci = if deterministic {
+            None
+        } else {
+            ci::mean_ci(xs, confidence).ok()
+        };
+        let median_ci = ci::median_ci(xs, confidence).ok();
+
+        Ok(MeasurementSummary {
+            name: self.name.clone(),
+            n: xs.len(),
+            deterministic,
+            converged: self.converged,
+            mean,
+            std_dev,
+            cov,
+            five_number: five,
+            normality,
+            mean_ci_valid: normal_ok,
+            mean_ci,
+            median_ci,
+            confidence,
+        })
+    }
+}
+
+/// A Rule 5/6-compliant summary of one measurement campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSummary {
+    /// Operation name.
+    pub name: String,
+    /// Number of recorded samples.
+    pub n: usize,
+    /// Rule 5: "report if the measurement values are deterministic".
+    pub deterministic: bool,
+    /// Whether the adaptive stopping criterion was met.
+    pub converged: bool,
+    /// Arithmetic mean (costs).
+    pub mean: f64,
+    /// Sample standard deviation; `None` for deterministic data.
+    pub std_dev: Option<f64>,
+    /// Coefficient of variation; `None` for deterministic data.
+    pub cov: Option<f64>,
+    /// Min / quartiles / max.
+    pub five_number: FiveNumberSummary,
+    /// Shapiro–Wilk diagnostic (Rule 6); `None` when not computable.
+    pub normality: Option<ShapiroWilk>,
+    /// Whether the parametric mean CI may be trusted (diagnostic did not
+    /// reject normality at α = 0.05).
+    pub mean_ci_valid: bool,
+    /// Student-t CI of the mean (report only when `mean_ci_valid`).
+    pub mean_ci: Option<ConfidenceInterval>,
+    /// Nonparametric CI of the median (valid regardless of distribution).
+    pub median_ci: Option<ConfidenceInterval>,
+    /// The confidence level used for both CIs.
+    pub confidence: f64,
+}
+
+impl MeasurementSummary {
+    /// Renders the summary as interpretable text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: n={}{}{}\n  min={:.6} q1={:.6} median={:.6} q3={:.6} max={:.6}\n  mean={:.6}",
+            self.name,
+            self.n,
+            if self.deterministic {
+                " [deterministic]"
+            } else {
+                ""
+            },
+            if self.converged {
+                ""
+            } else {
+                " [NOT CONVERGED]"
+            },
+            self.five_number.min,
+            self.five_number.q1,
+            self.five_number.median,
+            self.five_number.q3,
+            self.five_number.max,
+            self.mean,
+        );
+        if let Some(s) = self.std_dev {
+            out.push_str(&format!(" sd={s:.6}"));
+        }
+        if let Some(c) = self.cov {
+            out.push_str(&format!(" CoV={c:.4}"));
+        }
+        out.push('\n');
+        if let Some(sw) = &self.normality {
+            out.push_str(&format!(
+                "  normality: Shapiro-Wilk W={:.4} p={:.4} -> {}\n",
+                sw.w,
+                sw.p_value,
+                if self.mean_ci_valid {
+                    "no rejection; mean CI usable"
+                } else {
+                    "REJECTED; use median CI"
+                },
+            ));
+        }
+        if let (true, Some(ci)) = (self.mean_ci_valid, &self.mean_ci) {
+            out.push_str(&format!(
+                "  {:.0}% CI(mean): [{:.6}, {:.6}]\n",
+                self.confidence * 100.0,
+                ci.lower,
+                ci.upper
+            ));
+        }
+        if let Some(ci) = &self.median_ci {
+            out.push_str(&format!(
+                "  {:.0}% CI(median): [{:.6}, {:.6}]\n",
+                self.confidence * 100.0,
+                ci.lower,
+                ci.upper
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise generator for tests.
+    struct Gen {
+        state: u64,
+    }
+
+    impl Gen {
+        fn new(seed: u64) -> Self {
+            Self {
+                state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+            }
+        }
+        fn next_uniform(&mut self) -> f64 {
+            self.state = self
+                .state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.state >> 11) as f64 / (1u64 << 53) as f64
+        }
+        /// Right-skewed sample around 1.0.
+        fn next_latency(&mut self) -> f64 {
+            let u = self.next_uniform().clamp(1e-9, 1.0 - 1e-9);
+            1.0 + 0.1 * (-(u.ln()))
+        }
+    }
+
+    #[test]
+    fn fixed_count_records_exactly_n() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(17));
+        let mut g = Gen::new(1);
+        let out = plan.run(|| g.next_latency()).unwrap();
+        assert_eq!(out.samples.len(), 17);
+        assert!(out.converged);
+        assert!(out.warmup_samples.is_empty());
+    }
+
+    #[test]
+    fn warmup_is_discarded_but_recorded() {
+        let plan = MeasurementPlan::new("op")
+            .warmup(4)
+            .stopping(StoppingRule::FixedCount(10));
+        let mut calls = 0usize;
+        let out = plan
+            .run(|| {
+                calls += 1;
+                // Warmup iterations are 10x slower.
+                if calls <= 4 {
+                    10.0
+                } else {
+                    1.0
+                }
+            })
+            .unwrap();
+        assert_eq!(out.warmup_samples, vec![10.0; 4]);
+        assert_eq!(out.samples, vec![1.0; 10]);
+        assert_eq!(calls, 14);
+    }
+
+    #[test]
+    fn adaptive_mean_stops_quickly_on_quiet_data() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+            confidence: 0.95,
+            rel_error: 0.05,
+            batch: 10,
+            max_samples: 10_000,
+        });
+        let mut g = Gen::new(2);
+        // Tiny noise: should converge almost immediately.
+        let out = plan.run(|| 100.0 + 0.01 * g.next_uniform()).unwrap();
+        assert!(out.converged);
+        assert!(
+            out.samples.len() <= 20,
+            "took {} samples",
+            out.samples.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_mean_takes_more_samples_on_noisy_data() {
+        let mk = |seed| {
+            let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+                confidence: 0.95,
+                rel_error: 0.02,
+                batch: 10,
+                max_samples: 100_000,
+            });
+            let mut g = Gen::new(seed);
+            plan.run(|| 1.0 + g.next_uniform()).unwrap()
+        };
+        let out = mk(3);
+        assert!(out.converged);
+        assert!(
+            out.samples.len() > 100,
+            "only {} samples",
+            out.samples.len()
+        );
+        // Verify the promise: CI is within 2 % of the mean.
+        let summary = out.summarize(0.95).unwrap();
+        let ci = summary.mean_ci.unwrap();
+        assert!(ci.relative_half_width().unwrap() <= 0.021);
+    }
+
+    #[test]
+    fn adaptive_mean_respects_max_samples() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+            confidence: 0.99,
+            rel_error: 0.001,
+            batch: 16,
+            max_samples: 64,
+        });
+        let mut g = Gen::new(4);
+        let out = plan.run(|| 1.0 + g.next_uniform()).unwrap();
+        assert_eq!(out.samples.len(), 64);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn adaptive_median_converges() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMedianCi {
+            confidence: 0.95,
+            rel_error: 0.05,
+            batch: 25,
+            max_samples: 50_000,
+        });
+        let mut g = Gen::new(5);
+        let out = plan.run(|| g.next_latency()).unwrap();
+        assert!(
+            out.converged,
+            "did not converge in {} samples",
+            out.samples.len()
+        );
+        let s = out.summarize(0.95).unwrap();
+        let ci = s.median_ci.unwrap();
+        assert!(ci.relative_half_width().unwrap() <= 0.05);
+    }
+
+    #[test]
+    fn deterministic_data_flagged() {
+        let plan = MeasurementPlan::new("det").stopping(StoppingRule::FixedCount(20));
+        let out = plan.run(|| 42.0).unwrap();
+        let s = out.summarize(0.95).unwrap();
+        assert!(s.deterministic);
+        assert_eq!(s.std_dev, None);
+        assert_eq!(s.mean_ci, None);
+        assert!(s.render().contains("[deterministic]"));
+    }
+
+    #[test]
+    fn skewed_data_rejects_mean_ci() {
+        let plan = MeasurementPlan::new("skewed").stopping(StoppingRule::FixedCount(500));
+        let mut g = Gen::new(6);
+        // Strongly skewed: exponentiate.
+        let out = plan.run(|| (3.0 * g.next_uniform()).exp()).unwrap();
+        let s = out.summarize(0.95).unwrap();
+        assert!(!s.deterministic);
+        assert!(s.normality.is_some());
+        assert!(!s.mean_ci_valid, "skewed data must invalidate the mean CI");
+        assert!(s.median_ci.is_some());
+        assert!(s.render().contains("REJECTED"));
+    }
+
+    #[test]
+    fn near_normal_data_allows_mean_ci() {
+        let plan = MeasurementPlan::new("normal").stopping(StoppingRule::FixedCount(200));
+        let mut g = Gen::new(7);
+        // Sum of 12 uniforms ≈ normal (Irwin–Hall).
+        let out = plan
+            .run(|| (0..12).map(|_| g.next_uniform()).sum::<f64>())
+            .unwrap();
+        let s = out.summarize(0.95).unwrap();
+        assert!(
+            s.mean_ci_valid,
+            "Irwin-Hall sum should pass normality (p = {:?})",
+            s.normality
+        );
+        assert!(s.mean_ci.is_some());
+        assert!(s.render().contains("CI(mean)"));
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let mut g = Gen::new(8);
+        assert!(MeasurementPlan::new("x")
+            .stopping(StoppingRule::FixedCount(0))
+            .run(|| g.next_uniform())
+            .is_err());
+        assert!(MeasurementPlan::new("x")
+            .stopping(StoppingRule::AdaptiveMeanCi {
+                confidence: 1.5,
+                rel_error: 0.05,
+                batch: 10,
+                max_samples: 100
+            })
+            .run(|| 1.0)
+            .is_err());
+        assert!(MeasurementPlan::new("x")
+            .stopping(StoppingRule::AdaptiveMedianCi {
+                confidence: 0.95,
+                rel_error: 0.0,
+                batch: 10,
+                max_samples: 100
+            })
+            .run(|| 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn summary_render_contains_five_numbers() {
+        let plan = MeasurementPlan::new("render").stopping(StoppingRule::FixedCount(50));
+        let mut g = Gen::new(9);
+        let out = plan.run(|| g.next_latency()).unwrap();
+        let text = out.summarize(0.99).unwrap().render();
+        for needle in ["min=", "median=", "max=", "mean=", "99% CI(median)"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

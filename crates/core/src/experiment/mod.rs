@@ -1,0 +1,28 @@
+//! Experimental design (§4 of the paper).
+//!
+//! - [`design`]: factors, levels, full factorial designs and randomized
+//!   run orders (§4 "We recommend factorial design", §4.1.1
+//!   randomization);
+//! - [`environment`]: machine/software/configuration documentation — the
+//!   nine Table 1 experimental-design classes as a checklist (Rule 9);
+//! - [`measurement`]: the measurement loop with warmup exclusion, fixed
+//!   or adaptive (CI-driven) stopping (§4.2.2), and Rule 5/6-compliant
+//!   summaries;
+//! - [`adaptive`]: SKaMPI-style adaptive level refinement (§4.2);
+//! - [`campaign`]: deterministic (optionally thread-parallel) execution
+//!   of a whole design through a measurement plan;
+//! - [`scaling`]: strong/weak scaling declarations with explicit scaling
+//!   functions (§4.2).
+
+pub mod adaptive;
+pub mod campaign;
+pub mod design;
+pub mod environment;
+pub mod measurement;
+pub mod scaling;
+
+pub use adaptive::{refine_levels, Refinement, RefinementConfig};
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignRun};
+pub use design::{Design, Factor, RunPoint};
+pub use environment::{DocumentationClass, EnvironmentDoc};
+pub use measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary, StoppingRule};

@@ -1,0 +1,306 @@
+//! Terminal rendering of plot data.
+//!
+//! The figure-regeneration binaries print their results as ASCII charts
+//! so a paper figure can be inspected without leaving the terminal; the
+//! same data is exported as CSV for external plotting.
+
+use scibench_stats::kde::DensityEstimate;
+
+use super::boxplot::BoxPlotStats;
+use super::series::Series;
+
+/// Renders a density curve as a fixed-width ASCII chart.
+///
+/// `width` columns × `height` rows; the y axis is density, the x axis is
+/// annotated with the grid extremes.
+pub fn render_density(d: &DensityEstimate, width: usize, height: usize) -> String {
+    let width = width.clamp(16, 240);
+    let height = height.clamp(4, 64);
+    let x_lo = d.x[0];
+    let x_hi = *d.x.last().unwrap();
+
+    // Resample the curve to `width` columns, normalized to the resampled
+    // peak so the chart always reaches the top row.
+    let raw: Vec<f64> = (0..width)
+        .map(|c| {
+            let x = x_lo + (x_hi - x_lo) * c as f64 / (width - 1) as f64;
+            d.at(x)
+        })
+        .collect();
+    let peak = raw.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let cols: Vec<f64> = raw.into_iter().map(|v| v / peak).collect();
+
+    let mut out = String::new();
+    for row in 0..height {
+        let level = 1.0 - row as f64 / height as f64;
+        for &v in &cols {
+            out.push(if v >= level { '#' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let right = format!("{x_hi:.4}");
+    let left = format!("{x_lo:.4}");
+    let pad = width.saturating_sub(left.len() + right.len());
+    out.push_str(&format!("{left}{}{right}\n", " ".repeat(pad)));
+    out
+}
+
+/// Renders one box plot as a single annotated line on the given value
+/// range.
+pub fn render_box(b: &BoxPlotStats, lo: f64, hi: f64, width: usize) -> String {
+    let width = width.clamp(16, 240);
+    debug_assert!(hi > lo);
+    let pos = |v: f64| -> usize {
+        (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * (width - 1) as f64).round() as usize
+    };
+    let mut line = vec![' '; width];
+    // Whisker span.
+    let (wl, wh) = (pos(b.whisker_low), pos(b.whisker_high));
+    for cell in line.iter_mut().take(wh + 1).skip(wl) {
+        *cell = '-';
+    }
+    // Box span.
+    let (ql, qh) = (pos(b.five_number.q1), pos(b.five_number.q3));
+    for cell in line.iter_mut().take(qh + 1).skip(ql) {
+        *cell = '=';
+    }
+    // Median and mean markers (median wins on collisions).
+    line[pos(b.mean)] = '+';
+    line[pos(b.five_number.median)] = '|';
+    // Outliers.
+    for &o in &b.outliers {
+        line[pos(o)] = 'o';
+    }
+    let body: String = line.into_iter().collect();
+    format!("{body}  {} ({})\n", b.label, b.whisker_rule.describe())
+}
+
+/// Renders a violin as a symmetric horizontal silhouette with quartile
+/// markers (`|` median, `:` quartiles, `+` mean).
+pub fn render_violin(v: &crate::plot::violin::ViolinData, width: usize, height: usize) -> String {
+    let width = width.clamp(16, 240);
+    let height = height.clamp(5, 63) | 1; // odd: a true center row exists
+    let x_lo = v.density.x[0];
+    let x_hi = *v.density.x.last().unwrap();
+    let half = height / 2;
+
+    let mut out = String::new();
+    for row in 0..height {
+        // Distance from the center row, normalized to [0, 1].
+        let dist = (row as isize - half as isize).unsigned_abs() as f64 / half as f64;
+        for c in 0..width {
+            let x = x_lo + (x_hi - x_lo) * c as f64 / (width - 1) as f64;
+            let w = v.width_at(x);
+            let ch = if w >= dist.max(1e-9) {
+                // Inside the silhouette: annotate landmark columns.
+                let near =
+                    |target: f64| ((x - target) / (x_hi - x_lo)).abs() * (width as f64) < 0.5;
+                if near(v.five_number.median) {
+                    '|'
+                } else if near(v.five_number.q1) || near(v.five_number.q3) {
+                    ':'
+                } else if near(v.mean) {
+                    '+'
+                } else {
+                    '#'
+                }
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let right = format!("{x_hi:.4}");
+    let left = format!("{x_lo:.4}");
+    let pad = width.saturating_sub(left.len() + right.len());
+    out.push_str(&format!("{left}{}{right}\n", " ".repeat(pad)));
+    out.push_str(&format!("{} (| median, : quartiles, + mean)\n", v.label));
+    out
+}
+
+/// Renders multiple series as a scatter/line chart.
+pub fn render_series(series: &[&Series], width: usize, height: usize) -> String {
+    let width = width.clamp(16, 240);
+    let height = height.clamp(4, 64);
+    let markers = ['*', 'x', 'o', '@', '%', '&'];
+
+    // Global ranges.
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for s in series {
+        for p in &s.points {
+            x_lo = x_lo.min(p.x);
+            x_hi = x_hi.max(p.x);
+        }
+        let (l, h) = s.y_range();
+        y_lo = y_lo.min(l);
+        y_hi = y_hi.max(h);
+    }
+    if x_hi <= x_lo || !x_hi.is_finite() {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi <= y_lo || !y_hi.is_finite() {
+        y_hi = y_lo + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    let col = |x: f64| (((x - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize;
+    let row = |y: f64| {
+        let r = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+        height - 1 - r
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let mark = markers[si % markers.len()];
+        // Connecting lines first (so markers overwrite them).
+        if s.connect_points {
+            for w in s.points.windows(2) {
+                let (c0, r0) = (col(w[0].x), row(w[0].y));
+                let (c1, r1) = (col(w[1].x), row(w[1].y));
+                let steps = c0.abs_diff(c1).max(r0.abs_diff(r1)).max(1);
+                for t in 0..=steps {
+                    let f = t as f64 / steps as f64;
+                    let c = (c0 as f64 + (c1 as f64 - c0 as f64) * f).round() as usize;
+                    let r = (r0 as f64 + (r1 as f64 - r0 as f64) * f).round() as usize;
+                    if grid[r][c] == ' ' {
+                        grid[r][c] = '.';
+                    }
+                }
+            }
+        }
+        // CI bars.
+        for p in &s.points {
+            if let Some(ci) = p.ci {
+                let c = col(p.x);
+                let (rl, rh) = (row(ci.lower), row(ci.upper));
+                for grid_row in grid.iter_mut().take(rl + 1).skip(rh) {
+                    if grid_row[c] == ' ' {
+                        grid_row[c] = ':';
+                    }
+                }
+            }
+        }
+        // Markers.
+        for p in &s.points {
+            grid[row(p.y)][col(p.x)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    for r in grid {
+        out.push_str(&r.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}   ", markers[si % markers.len()], s.label));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plot::boxplot::WhiskerRule;
+    use scibench_stats::kde::{kde, Bandwidth};
+
+    fn demo_density() -> DensityEstimate {
+        let xs: Vec<f64> = (0..500)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 500.0;
+                scibench_stats::dist::normal::std_normal_inv_cdf(u)
+            })
+            .collect();
+        kde(&xs, Bandwidth::Silverman, 128).unwrap()
+    }
+
+    #[test]
+    fn density_chart_dimensions() {
+        let text = render_density(&demo_density(), 60, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 12); // 10 rows + axis + labels
+        assert!(lines[0].len() <= 60);
+        assert!(lines[10].starts_with("---"));
+    }
+
+    #[test]
+    fn density_peak_reaches_top_row() {
+        let text = render_density(&demo_density(), 60, 10);
+        let first = text.lines().next().unwrap();
+        assert!(first.contains('#'), "top row empty: {first:?}");
+    }
+
+    #[test]
+    fn box_line_contains_markers() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let b = BoxPlotStats::from_samples("demo", &xs, WhiskerRule::TukeyIqr).unwrap();
+        let line = render_box(&b, 0.0, 110.0, 80);
+        assert!(line.contains('='));
+        assert!(line.contains('|'));
+        assert!(line.contains("demo"));
+        assert!(line.contains("1.5 IQR"));
+    }
+
+    #[test]
+    fn box_line_shows_outliers() {
+        let mut xs: Vec<f64> = (1..=50).map(f64::from).collect();
+        xs.push(1000.0);
+        let b = BoxPlotStats::from_samples("o", &xs, WhiskerRule::TukeyIqr).unwrap();
+        let line = render_box(&b, 0.0, 1001.0, 100);
+        assert!(line.contains('o'));
+    }
+
+    #[test]
+    fn series_chart_renders_legend_and_markers() {
+        let s1 = Series::from_xy("up", &[(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)], true);
+        let s2 = Series::from_xy("down", &[(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)], false);
+        let text = render_series(&[&s1, &s2], 40, 10);
+        assert!(text.contains("* up"));
+        assert!(text.contains("x down"));
+        assert!(text.contains('*'));
+        assert!(text.contains('x'));
+        // Connected series leaves line dots.
+        assert!(text.contains('.'));
+    }
+
+    #[test]
+    fn single_point_series_does_not_panic() {
+        let s = Series::from_xy("one", &[(5.0, 5.0)], true);
+        let text = render_series(&[&s], 30, 6);
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    fn violin_renders_symmetric_silhouette_with_markers() {
+        use crate::plot::violin::ViolinData;
+        let xs: Vec<f64> = (0..800)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / 800.0;
+                5.0 + scibench_stats::dist::normal::std_normal_inv_cdf(u)
+            })
+            .collect();
+        let v = ViolinData::from_samples("demo", &xs, 128).unwrap();
+        let text = render_violin(&v, 60, 11);
+        assert!(text.contains('#'));
+        assert!(text.contains('|'), "median marker missing:\n{text}");
+        assert!(text.contains("demo"));
+        // Vertical symmetry: row 0 equals row height-1 in shape.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0].chars().filter(|&c| c != ' ').count() > 0,
+            lines[10].chars().filter(|&c| c != ' ').count() > 0
+        );
+        // Center row is the widest.
+        let filled = |l: &str| l.chars().filter(|&c| c != ' ').count();
+        assert!(filled(lines[5]) >= filled(lines[0]));
+    }
+}

@@ -1,0 +1,23 @@
+//! Graphing results (§5.2 of the paper, Rule 12).
+//!
+//! The modules produce *plot data* — the numbers a figure is made of —
+//! plus a terminal (ASCII) renderer, so every figure of the paper can be
+//! regenerated as both machine-readable series (CSV) and a human-readable
+//! chart:
+//!
+//! - [`boxplot`]: box statistics with explicit whisker semantics ("the
+//!   semantics of the whiskers must be specified") and notches;
+//! - [`violin`]: density shapes with embedded quartiles;
+//! - [`series`]: line/point series with CI bars and an explicit
+//!   "connect points" flag ("only connect measurements by lines if they
+//!   indicate trends and the interpolation is valid");
+//! - [`ascii`]: terminal rendering.
+
+pub mod ascii;
+pub mod boxplot;
+pub mod series;
+pub mod violin;
+
+pub use boxplot::{BoxPlotStats, WhiskerRule};
+pub use series::{Series, SeriesPoint};
+pub use violin::ViolinData;

@@ -1,0 +1,189 @@
+//! Property-based tests of the core library's invariants: typed metrics,
+//! speedups, bounds ordering, plot data and dataset round trips.
+
+use proptest::prelude::*;
+
+use scibench::bounds::{CapabilityVector, OverheadModel, OverheadTerm, ScalingBound};
+use scibench::data::DataSet;
+use scibench::experiment::design::{Design, Factor};
+use scibench::metric::{Cost, Ratio};
+use scibench::plot::boxplot::{BoxPlotStats, WhiskerRule};
+use scibench::plot::series::Series;
+use scibench::speedup::{BaseCase, Speedup};
+use scibench::units::{format_quantity, Unit};
+
+fn positive_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1e6, 2..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cost_aggregate_rate_equals_harmonic_mean_of_rates(times in positive_samples(), work in 0.1f64..1e6) {
+        let cost = Cost::new(times.clone(), Unit::Seconds);
+        let agg = cost.aggregate_rate(work).unwrap();
+        let rates = cost.rate_for_work(work, Unit::FlopPerSecond);
+        let hm = rates.mean().unwrap();
+        prop_assert!((agg - hm).abs() < 1e-9 * (1.0 + agg.abs()), "{agg} vs {hm}");
+    }
+
+    #[test]
+    fn arithmetic_mean_of_rates_never_below_harmonic(times in positive_samples(), work in 0.1f64..1e6) {
+        // The misleading mean always flatters (AM >= HM).
+        let rates = Cost::new(times, Unit::Seconds).rate_for_work(work, Unit::FlopPerSecond);
+        prop_assert!(
+            rates.arithmetic_mean_for_comparison_only().unwrap()
+                >= rates.mean().unwrap() - 1e-9
+        );
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios_bounded(ratios in prop::collection::vec(0.01f64..100.0, 2..50)) {
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let g = Ratio::new(ratios).geometric_mean_last_resort().unwrap();
+        prop_assert!(min - 1e-12 <= g && g <= max + 1e-12);
+    }
+
+    #[test]
+    fn speedup_identities(base in 0.001f64..1e4, new in 0.001f64..1e4) {
+        let s = Speedup::from_times(base, new, BaseCase::BestSerial);
+        prop_assert!((s.factor() - base / new).abs() < 1e-12);
+        prop_assert!((s.relative_gain() - (s.factor() - 1.0)).abs() < 1e-12);
+        prop_assert_eq!(s.is_slowdown(), base < new);
+        // Display always names the base case and its absolute time.
+        let text = s.to_string();
+        prop_assert!(text.contains("best serial"));
+    }
+
+    #[test]
+    fn bounds_are_ordered_for_all_parameters(
+        base in 0.001f64..10.0,
+        b_frac in 0.0f64..0.5,
+        p in 1usize..1024,
+        ovh in 0.0f64..0.01,
+    ) {
+        let ideal = ScalingBound::IdealLinear;
+        let amdahl = ScalingBound::Amdahl { serial_fraction: b_frac };
+        let parallel = ScalingBound::ParallelOverhead {
+            serial_fraction: b_frac,
+            overhead: OverheadModel::uniform(OverheadTerm::LogLinear(ovh)),
+        };
+        let ti = ideal.time_bound_s(base, p);
+        let ta = amdahl.time_bound_s(base, p);
+        let tp = parallel.time_bound_s(base, p);
+        prop_assert!(ti <= ta + 1e-15);
+        prop_assert!(ta <= tp + 1e-15);
+        // Speedup bounds never exceed p for ideal.
+        prop_assert!((ideal.speedup_bound(base, p) - p as f64).abs() < 1e-9);
+        // Amdahl bound at p=1 is exactly 1.
+        prop_assert!((amdahl.speedup_bound(base, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_monotone_in_serial_fraction(b1 in 0.0f64..1.0, b2 in 0.0f64..1.0, p in 2usize..512) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let s_lo = ScalingBound::Amdahl { serial_fraction: lo }.speedup_bound(1.0, p);
+        let s_hi = ScalingBound::Amdahl { serial_fraction: hi }.speedup_bound(1.0, p);
+        prop_assert!(s_hi <= s_lo + 1e-12);
+    }
+
+    #[test]
+    fn roofline_is_min_of_two_ceilings(flops in 1.0f64..1e6, bw in 1.0f64..1e6, intensity in 0.001f64..1e6) {
+        let cap = CapabilityVector::roofline(flops, bw);
+        let attainable = cap.roofline_attainable(intensity);
+        prop_assert!(attainable <= flops + 1e-12);
+        prop_assert!(attainable <= intensity * bw + 1e-12);
+        prop_assert!(
+            (attainable - flops).abs() < 1e-9 || (attainable - intensity * bw).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn normalized_performance_in_unit_interval(
+        peaks in prop::collection::vec(1.0f64..1e6, 1..6),
+        fracs in prop::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let named: Vec<(String, f64)> =
+            peaks.iter().enumerate().map(|(i, &p)| (format!("f{i}"), p)).collect();
+        let refs: Vec<(&str, f64)> = named.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+        let cap = CapabilityVector::new(&refs);
+        let achieved: Vec<f64> =
+            peaks.iter().zip(&fracs).map(|(&p, &f)| p * f).collect();
+        let norm = cap.normalized(&achieved);
+        prop_assert!(norm.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Bottleneck is an argmax.
+        let (idx, _) = cap.bottleneck(&achieved);
+        prop_assert!(norm.iter().all(|&v| v <= norm[idx] + 1e-12));
+    }
+
+    #[test]
+    fn boxplot_invariants(xs in prop::collection::vec(-1e5f64..1e5, 4..200)) {
+        for rule in [WhiskerRule::MinMax, WhiskerRule::TukeyIqr] {
+            let b = BoxPlotStats::from_samples("x", &xs, rule).unwrap();
+            prop_assert!(b.whisker_low <= b.five_number.q1 + 1e-12);
+            prop_assert!(b.whisker_high >= b.five_number.q3 - 1e-12);
+            // Outliers lie strictly outside the whiskers.
+            for &o in &b.outliers {
+                prop_assert!(o < b.whisker_low || o > b.whisker_high);
+            }
+            // Every observation is either inside the whiskers or an outlier.
+            let inside =
+                xs.iter().filter(|&&x| x >= b.whisker_low && x <= b.whisker_high).count();
+            prop_assert_eq!(inside + b.outliers.len(), xs.len());
+        }
+    }
+
+    #[test]
+    fn series_sorted_and_range_contains_points(pts in prop::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..50)) {
+        let s = Series::from_xy("s", &pts, false);
+        for w in s.points.windows(2) {
+            prop_assert!(w[0].x <= w[1].x);
+        }
+        let (lo, hi) = s.y_range();
+        for p in &s.points {
+            prop_assert!(lo <= p.y && p.y <= hi);
+        }
+    }
+
+    #[test]
+    fn dataset_csv_round_trips(rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 3), 0..40)) {
+        let mut d = DataSet::new(&["a", "b", "c"]).with_metadata("k", "v");
+        for r in &rows {
+            d.push_row(r);
+        }
+        let parsed = DataSet::from_csv(&d.to_csv()).unwrap();
+        prop_assert_eq!(parsed.len(), rows.len());
+        // Values survive the round trip to printed precision.
+        if let (Some(orig), Some(back)) = (d.column("b"), parsed.column("b")) {
+            for (o, b) in orig.iter().zip(&back) {
+                prop_assert!((o - b).abs() < 1e-9 * (1.0 + o.abs()));
+            }
+        }
+        prop_assert_eq!(parsed.metadata("k"), Some("v"));
+    }
+
+    #[test]
+    fn full_factorial_size_and_uniqueness(a1 in 1usize..5, a2 in 1usize..5, a3 in 1usize..4) {
+        let design = Design::new(vec![
+            Factor::numeric("f1", &(0..a1).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("f2", &(0..a2).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("f3", &(0..a3).map(|i| i as f64).collect::<Vec<_>>()),
+        ]);
+        let points = design.full_factorial();
+        prop_assert_eq!(points.len(), a1 * a2 * a3);
+        let mut dedup = points.clone();
+        dedup.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), points.len());
+    }
+
+    #[test]
+    fn format_quantity_always_names_the_unit(v in -1e15f64..1e15) {
+        let text = format_quantity(v, Unit::FlopPerSecond);
+        prop_assert!(text.contains("flop/s"), "{text}");
+        let text = format_quantity(v, Unit::Bytes);
+        prop_assert!(text.ends_with('B'), "{text}");
+    }
+}

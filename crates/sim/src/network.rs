@@ -1,0 +1,152 @@
+//! Point-to-point message cost model (LogGP-style).
+//!
+//! The deterministic cost of sending `bytes` from node `a` to node `b` is
+//!
+//! ```text
+//! T = injection + hops(a, b) · per_hop + bytes / bandwidth [+ rendezvous]
+//! ```
+//!
+//! with the rendezvous handshake added above the eager threshold — the
+//! protocol switch responsible for the piecewise latency curves every MPI
+//! implementation exhibits. Noise is applied on top by callers through the
+//! machine's [`crate::noise::NoiseProfile`].
+
+use crate::machine::MachineSpec;
+use crate::noise::NoiseProfile;
+use crate::rng::SimRng;
+
+/// Message transfer model bound to one machine.
+#[derive(Debug, Clone)]
+pub struct NetworkModel<'m> {
+    machine: &'m MachineSpec,
+}
+
+impl<'m> NetworkModel<'m> {
+    /// Creates the model for a machine.
+    pub fn new(machine: &'m MachineSpec) -> Self {
+        Self { machine }
+    }
+
+    /// The machine this model describes.
+    pub fn machine(&self) -> &MachineSpec {
+        self.machine
+    }
+
+    /// Deterministic (noise-free) transfer time in nanoseconds for a
+    /// message of `bytes` from node `src` to node `dst`.
+    pub fn base_transfer_ns(&self, src: usize, dst: usize, bytes: usize) -> f64 {
+        let net = &self.machine.network;
+        if src == dst {
+            // Intra-node (shared memory): a fraction of the injection cost
+            // plus a fast memcpy.
+            return net.injection_ns * 0.3 + bytes as f64 / (net.bandwidth_bytes_per_ns * 4.0);
+        }
+        let hops = net.topology.hops(src, dst) as f64;
+        let mut t =
+            net.injection_ns + hops * net.per_hop_ns + bytes as f64 / net.bandwidth_bytes_per_ns;
+        if bytes > net.eager_threshold_bytes {
+            t += net.rendezvous_ns;
+        }
+        t
+    }
+
+    /// Noisy transfer time: the base cost perturbed by the machine's noise
+    /// profile.
+    pub fn transfer_ns(&self, src: usize, dst: usize, bytes: usize, rng: &mut SimRng) -> f64 {
+        let base = self.base_transfer_ns(src, dst, bytes);
+        self.machine.noise.perturb(base, rng)
+    }
+
+    /// Noisy transfer time under an overridden noise profile (used by the
+    /// ablation benches to isolate noise sources).
+    pub fn transfer_with_noise_ns(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        noise: &NoiseProfile,
+        rng: &mut SimRng,
+    ) -> f64 {
+        noise.perturb(self.base_transfer_ns(src, dst, bytes), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineSpec;
+
+    #[test]
+    fn base_cost_components() {
+        let m = MachineSpec::test_machine(8);
+        let net = NetworkModel::new(&m);
+        // Crossbar: 1 hop. injection 500 + 200 + 64/10 = 706.4
+        let t = net.base_transfer_ns(0, 1, 64);
+        assert!((t - 706.4).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_bytes() {
+        let m = MachineSpec::test_machine(8);
+        let net = NetworkModel::new(&m);
+        let t1 = net.base_transfer_ns(0, 1, 0);
+        let t2 = net.base_transfer_ns(0, 1, 1000);
+        assert!((t2 - t1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendezvous_kicks_in_above_threshold() {
+        let m = MachineSpec::test_machine(8);
+        let net = NetworkModel::new(&m);
+        let below = net.base_transfer_ns(0, 1, m.network.eager_threshold_bytes);
+        let above = net.base_transfer_ns(0, 1, m.network.eager_threshold_bytes + 1);
+        let gap = above - below;
+        // One extra byte of bandwidth time plus the full rendezvous cost.
+        assert!(gap > m.network.rendezvous_ns * 0.99, "gap = {gap}");
+    }
+
+    #[test]
+    fn intra_node_is_cheaper() {
+        let m = MachineSpec::test_machine(8);
+        let net = NetworkModel::new(&m);
+        assert!(net.base_transfer_ns(3, 3, 64) < net.base_transfer_ns(3, 4, 64));
+    }
+
+    #[test]
+    fn more_hops_cost_more() {
+        let m = MachineSpec::piz_daint();
+        let net = NetworkModel::new(&m);
+        // Same router (1 hop) vs different group (3 hops).
+        let near = net.base_transfer_ns(0, 1, 64);
+        let far = net.base_transfer_ns(0, 900, 64);
+        assert!(far > near);
+        assert!((far - near - 2.0 * m.network.per_hop_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quiet_machine_transfer_is_deterministic() {
+        let m = MachineSpec::test_machine(4);
+        let net = NetworkModel::new(&m);
+        let mut rng = SimRng::new(1);
+        let a = net.transfer_ns(0, 1, 64, &mut rng);
+        let b = net.transfer_ns(0, 1, 64, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, net.base_transfer_ns(0, 1, 64));
+    }
+
+    #[test]
+    fn noisy_machine_produces_spread() {
+        let m = MachineSpec::piz_dora();
+        let net = NetworkModel::new(&m);
+        let mut rng = SimRng::new(7);
+        let xs: Vec<f64> = (0..1000)
+            .map(|_| net.transfer_ns(0, 8, 64, &mut rng))
+            .collect();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "min {min} max {max}");
+        // All above half the base cost (noise only adds, modulo jitter).
+        let base = net.base_transfer_ns(0, 8, 64);
+        assert!(min > base * 0.5);
+    }
+}

@@ -1,0 +1,244 @@
+//! Noise models — the sources of nondeterminism the paper enumerates:
+//! "network background traffic, task scheduling, interrupts, job placement
+//! in the batch system" (§1).
+//!
+//! Four mechanisms are composed:
+//!
+//! 1. **Baseline jitter**: a folded log-normal factor `exp(σ|Z|) ≥ 1`,
+//!    producing the right-skewed unimodal body (with a hard floor at the
+//!    deterministic cost) seen in every latency density of the paper;
+//! 2. **Slow secondary path**: a Bernoulli extra cost modelling adaptive
+//!    routing / buffer contention, the source of multi-modal latency
+//!    bodies (§3.1.3);
+//! 3. **OS daemons**: periodic interruptions with a fixed duty cycle —
+//!    an interval of length L is hit by `⌊L/period⌋`-ish events, each
+//!    adding a fixed cost (Petrini et al.'s "missing supercomputer
+//!    performance" mechanism, the paper's ref. 47);
+//! 4. **Congestion spikes**: rare heavy-tailed (Pareto) additive delays
+//!    modelling network background traffic, responsible for the extreme
+//!    outliers (e.g. the 11.59 µs maximum in Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+
+/// Parameters of the composite noise model. All times in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseProfile {
+    /// Scale of the baseline jitter: the duration is multiplied by
+    /// `exp(σ·|Z|)` with `Z` standard normal — a *folded* log-normal
+    /// factor that is always ≥ 1, modelling the hard latency floor of a
+    /// real link while keeping the right-skewed body the paper shows.
+    /// 0 disables it.
+    pub jitter_sigma: f64,
+    /// Mean period between OS daemon wakeups; 0 disables daemons.
+    pub daemon_period_ns: f64,
+    /// Cost added per daemon hit.
+    pub daemon_cost_ns: f64,
+    /// Probability that an operation is hit by a congestion spike.
+    pub congestion_prob: f64,
+    /// Scale (minimum) of a congestion spike.
+    pub congestion_scale_ns: f64,
+    /// Pareto shape of congestion spikes; smaller = heavier tail.
+    pub congestion_shape: f64,
+    /// Probability the operation takes a slower secondary path
+    /// (adaptive routing / buffer contention), creating the multi-modal
+    /// latency bodies of §3.1.3.
+    pub slow_path_prob: f64,
+    /// Extra cost of the slow path.
+    pub slow_path_extra_ns: f64,
+}
+
+impl NoiseProfile {
+    /// A completely noise-free profile (deterministic measurements).
+    pub fn quiet() -> Self {
+        Self {
+            jitter_sigma: 0.0,
+            daemon_period_ns: 0.0,
+            daemon_cost_ns: 0.0,
+            congestion_prob: 0.0,
+            congestion_scale_ns: 0.0,
+            congestion_shape: 1.5,
+            slow_path_prob: 0.0,
+            slow_path_extra_ns: 0.0,
+        }
+    }
+
+    /// Whether the profile produces any nondeterminism at all.
+    pub fn is_quiet(&self) -> bool {
+        self.jitter_sigma == 0.0
+            && self.daemon_period_ns == 0.0
+            && self.congestion_prob == 0.0
+            && self.slow_path_prob == 0.0
+    }
+
+    /// Perturbs a base duration of `base_ns`, returning the noisy duration.
+    ///
+    /// The mechanisms compose multiplicatively (jitter) and additively
+    /// (slow path, daemons, congestion). The result is never below
+    /// `base_ns` ("most system effects lead to increased execution
+    /// times", §3.1.3).
+    pub fn perturb(&self, base_ns: f64, rng: &mut SimRng) -> f64 {
+        debug_assert!(base_ns >= 0.0);
+        let mut t = base_ns;
+
+        // Baseline folded-lognormal jitter: factor exp(σ|z|) ≥ 1.
+        if self.jitter_sigma > 0.0 {
+            t *= (self.jitter_sigma * rng.std_normal().abs()).exp();
+        }
+
+        // Secondary (slow) path.
+        if self.slow_path_prob > 0.0 && rng.bernoulli(self.slow_path_prob) {
+            t += self.slow_path_extra_ns;
+        }
+
+        // OS daemons: expected hits = duration / period, each adding cost.
+        if self.daemon_period_ns > 0.0 && self.daemon_cost_ns > 0.0 {
+            let expected_hits = t / self.daemon_period_ns;
+            let hits = sample_poissonish(expected_hits, rng);
+            t += hits as f64 * self.daemon_cost_ns;
+        }
+
+        // Rare heavy-tailed congestion.
+        if self.congestion_prob > 0.0 && rng.bernoulli(self.congestion_prob) {
+            t += rng.pareto(self.congestion_scale_ns, self.congestion_shape);
+        }
+
+        t.max(base_ns)
+    }
+}
+
+/// Samples an event count with the given mean.
+///
+/// Exact Poisson via inversion for small means (the common case: an OS
+/// daemon rarely hits a microsecond-scale interval), normal approximation
+/// for large means (long compute phases).
+fn sample_poissonish(mean: f64, rng: &mut SimRng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth inversion.
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.uniform();
+            if p <= l || k > 1000 {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let draw = rng.normal(mean, mean.sqrt());
+        draw.round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> NoiseProfile {
+        NoiseProfile {
+            jitter_sigma: 0.05,
+            daemon_period_ns: 10_000.0,
+            daemon_cost_ns: 500.0,
+            congestion_prob: 0.01,
+            congestion_scale_ns: 2_000.0,
+            congestion_shape: 1.5,
+            slow_path_prob: 0.0,
+            slow_path_extra_ns: 0.0,
+        }
+    }
+
+    #[test]
+    fn quiet_profile_is_identity() {
+        let p = NoiseProfile::quiet();
+        assert!(p.is_quiet());
+        let mut rng = SimRng::new(1);
+        for &base in &[0.0, 100.0, 1e6] {
+            assert_eq!(p.perturb(base, &mut rng), base);
+        }
+    }
+
+    #[test]
+    fn noise_is_right_skewed() {
+        let p = profile();
+        let mut rng = SimRng::new(2);
+        let base = 1_000.0;
+        let xs: Vec<f64> = (0..20_000).map(|_| p.perturb(base, &mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[xs.len() / 2];
+        assert!(mean > median, "mean {mean} median {median}");
+        assert!(mean > base, "noise must increase expected time");
+    }
+
+    #[test]
+    fn congestion_produces_outliers() {
+        let mut p = NoiseProfile::quiet();
+        p.congestion_prob = 0.02;
+        p.congestion_scale_ns = 5_000.0;
+        p.congestion_shape = 1.2;
+        let mut rng = SimRng::new(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| p.perturb(1_000.0, &mut rng)).collect();
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        let spikes = xs.iter().filter(|&&x| x > 5_000.0).count();
+        assert!(max > 6_000.0, "max {max}");
+        let frac = spikes as f64 / xs.len() as f64;
+        assert!((frac - 0.02).abs() < 0.01, "spike fraction {frac}");
+    }
+
+    #[test]
+    fn daemon_cost_scales_with_interval() {
+        let mut p = NoiseProfile::quiet();
+        p.daemon_period_ns = 1_000.0;
+        p.daemon_cost_ns = 100.0;
+        let mut rng = SimRng::new(4);
+        // 1 ms interval → ~1000 hits → ~100 µs extra (10%).
+        let long: Vec<f64> = (0..200).map(|_| p.perturb(1e6, &mut rng)).collect();
+        let mean_long = long.iter().sum::<f64>() / long.len() as f64;
+        assert!((mean_long - 1.1e6).abs() < 0.02e6, "mean {mean_long}");
+        // 100 ns interval → ~0.1 hits → ~10 ns extra on average.
+        let short: Vec<f64> = (0..5000).map(|_| p.perturb(100.0, &mut rng)).collect();
+        let mean_short = short.iter().sum::<f64>() / short.len() as f64;
+        assert!((mean_short - 110.0).abs() < 10.0, "mean {mean_short}");
+    }
+
+    #[test]
+    fn perturb_is_deterministic_per_seed() {
+        let p = profile();
+        let mut a = SimRng::new(9);
+        let mut b = SimRng::new(9);
+        for _ in 0..100 {
+            assert_eq!(p.perturb(500.0, &mut a), p.perturb(500.0, &mut b));
+        }
+    }
+
+    #[test]
+    fn poissonish_mean_small_and_large() {
+        let mut rng = SimRng::new(5);
+        let small: f64 = (0..20_000)
+            .map(|_| sample_poissonish(2.5, &mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        assert!((small - 2.5).abs() < 0.1, "small {small}");
+        let large: f64 = (0..5_000)
+            .map(|_| sample_poissonish(100.0, &mut rng) as f64)
+            .sum::<f64>()
+            / 5_000.0;
+        assert!((large - 100.0).abs() < 1.0, "large {large}");
+        assert_eq!(sample_poissonish(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn result_never_collapses() {
+        let p = profile();
+        let mut rng = SimRng::new(6);
+        for _ in 0..10_000 {
+            assert!(p.perturb(1_000.0, &mut rng) >= 1_000.0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Ping-pong latency benchmark (Figures 2, 3, 4 and 7(c) of the paper).
+//!
+//! "All ping-pong results use two processes on different compute nodes"
+//! (§4.1.2). One sample is half the round-trip time of a `bytes`-sized
+//! message: `((a→b) + (b→a)) / 2`, each direction drawn from the machine's
+//! noisy network model. The first iterations of a fresh connection pay a
+//! warmup surcharge (connection establishment, §4.1.2 "Warmup"), which is
+//! what makes the paper's advice to discard the first measurement
+//! observable in the simulation.
+
+use crate::machine::MachineSpec;
+use crate::network::NetworkModel;
+use crate::rng::SimRng;
+
+/// Configuration of a ping-pong run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingPongConfig {
+    /// Message payload in bytes (the paper uses 64 B).
+    pub bytes: usize,
+    /// Number of latency samples to record.
+    pub samples: usize,
+    /// Node hosting the first process.
+    pub node_a: usize,
+    /// Node hosting the second process.
+    pub node_b: usize,
+    /// Number of initial iterations that pay the warmup surcharge.
+    pub warmup_iterations: usize,
+    /// Multiplicative surcharge of warmup iterations (e.g. 3.0 = 3×).
+    pub warmup_factor: f64,
+}
+
+impl PingPongConfig {
+    /// The paper's 64 B inter-node configuration with `samples` samples.
+    ///
+    /// The two nodes sit in the same Dragonfly group on different routers
+    /// (or different leaves of a fat tree) — a typical batch-system
+    /// placement. Node 18 is on router 4 of group 0 in the Dragonfly
+    /// presets (2 hops from node 0) and on the second leaf switch of the
+    /// radix-36 fat tree (4 hops).
+    pub fn paper_64b(samples: usize) -> Self {
+        Self {
+            bytes: 64,
+            samples,
+            node_a: 0,
+            node_b: 18,
+            warmup_iterations: 16,
+            warmup_factor: 3.0,
+        }
+    }
+}
+
+/// One-way latencies in nanoseconds, warmup iterations *included* (the
+/// measurement harness is responsible for discarding them, as Rule 9's
+/// discussion of warmup prescribes).
+pub fn pingpong_latencies_ns(
+    machine: &MachineSpec,
+    config: &PingPongConfig,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    let net = NetworkModel::new(machine);
+    let mut out = Vec::with_capacity(config.samples);
+    for i in 0..config.samples {
+        let fwd = net.transfer_ns(config.node_a, config.node_b, config.bytes, rng);
+        let bwd = net.transfer_ns(config.node_b, config.node_a, config.bytes, rng);
+        let mut sample = 0.5 * (fwd + bwd);
+        if i < config.warmup_iterations {
+            sample *= config.warmup_factor;
+        }
+        out.push(sample);
+    }
+    out
+}
+
+/// Convenience: latencies in microseconds (the unit of every ping-pong
+/// figure in the paper).
+pub fn pingpong_latencies_us(
+    machine: &MachineSpec,
+    config: &PingPongConfig,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    pingpong_latencies_ns(machine, config, rng)
+        .into_iter()
+        .map(|ns| ns * 1e-3)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scibench_stats::quantile::{quantile, QuantileMethod};
+    use scibench_stats::summary::arithmetic_mean;
+
+    fn run(machine: &MachineSpec, samples: usize, seed: u64) -> Vec<f64> {
+        let mut cfg = PingPongConfig::paper_64b(samples);
+        cfg.warmup_iterations = 0;
+        let mut rng = SimRng::new(seed);
+        pingpong_latencies_us(machine, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn quiet_machine_is_deterministic() {
+        let m = MachineSpec::test_machine(8);
+        let xs = run(&m, 100, 1);
+        assert!(xs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn warmup_iterations_are_slower() {
+        let m = MachineSpec::test_machine(8);
+        let cfg = PingPongConfig {
+            warmup_iterations: 5,
+            ..PingPongConfig::paper_64b(20)
+        };
+        let mut rng = SimRng::new(1);
+        let xs = pingpong_latencies_ns(&m, &cfg, &mut rng);
+        for i in 0..5 {
+            assert!(xs[i] > xs[10] * 2.0, "warmup sample {i} = {}", xs[i]);
+        }
+    }
+
+    #[test]
+    fn dora_distribution_matches_figure3_shape() {
+        // Figure 3 (Piz Dora): min 1.57 µs, median ≈ 1.75 µs, mean ≈ 1.8 µs,
+        // max 7.2 µs over 1M samples. We check 100k samples against loose
+        // bands around those targets.
+        let m = MachineSpec::piz_dora();
+        let xs = run(&m, 100_000, 42);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(0.0, f64::max);
+        let mean = arithmetic_mean(&xs).unwrap();
+        let median = quantile(&xs, 0.5, QuantileMethod::Interpolated).unwrap();
+        assert!((1.45..1.70).contains(&min), "min {min}");
+        assert!((1.60..1.90).contains(&median), "median {median}");
+        assert!((1.65..1.95).contains(&mean), "mean {mean}");
+        assert!((3.0..15.0).contains(&max), "max {max}");
+        assert!(mean > median, "right skew expected");
+    }
+
+    #[test]
+    fn pilatus_distribution_matches_figure3_shape() {
+        // Figure 3 (Pilatus): min 1.48 µs (below Dora), heavier tail
+        // (max 11.59 µs), mean ≈ Dora + 0.108 µs.
+        let dora = run(&MachineSpec::piz_dora(), 100_000, 42);
+        let pilatus = run(&MachineSpec::pilatus(), 100_000, 43);
+        let min_d = dora.iter().cloned().fold(f64::INFINITY, f64::min);
+        let min_p = pilatus.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min_p < min_d, "Pilatus min {min_p} vs Dora {min_d}");
+        let max_d = dora.iter().cloned().fold(0.0, f64::max);
+        let max_p = pilatus.iter().cloned().fold(0.0, f64::max);
+        assert!(max_p > max_d, "Pilatus max {max_p} vs Dora {max_d}");
+        let mean_diff = arithmetic_mean(&pilatus).unwrap() - arithmetic_mean(&dora).unwrap();
+        assert!((0.02..0.30).contains(&mean_diff), "mean diff {mean_diff}");
+    }
+
+    #[test]
+    fn quantile_crossover_for_figure4() {
+        // The quantile-regression figure requires: Pilatus faster at low
+        // quantiles, slower at high quantiles.
+        let dora = run(&MachineSpec::piz_dora(), 50_000, 7);
+        let pilatus = run(&MachineSpec::pilatus(), 50_000, 8);
+        let q = |xs: &[f64], p: f64| quantile(xs, p, QuantileMethod::Interpolated).unwrap();
+        let low_diff = q(&pilatus, 0.05) - q(&dora, 0.05);
+        let high_diff = q(&pilatus, 0.9) - q(&dora, 0.9);
+        assert!(low_diff < 0.0, "low-quantile diff {low_diff}");
+        assert!(high_diff > 0.0, "high-quantile diff {high_diff}");
+    }
+
+    #[test]
+    fn larger_messages_take_longer() {
+        let m = MachineSpec::test_machine(4);
+        let mut small_cfg = PingPongConfig::paper_64b(10);
+        small_cfg.warmup_iterations = 0;
+        let mut big_cfg = small_cfg;
+        big_cfg.bytes = 65536;
+        let mut rng = SimRng::new(1);
+        let small = pingpong_latencies_ns(&m, &small_cfg, &mut rng);
+        let big = pingpong_latencies_ns(&m, &big_cfg, &mut rng);
+        assert!(big[0] > small[0]);
+    }
+
+    #[test]
+    fn seed_determinism() {
+        let m = MachineSpec::piz_dora();
+        assert_eq!(run(&m, 1000, 5), run(&m, 1000, 5));
+        assert_ne!(run(&m, 1000, 5), run(&m, 1000, 6));
+    }
+}

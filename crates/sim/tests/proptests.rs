@@ -1,0 +1,185 @@
+//! Property-based tests of the simulator's structural invariants:
+//! topologies are metrics-ish, noise only slows things down, collectives
+//! respect their trees, and everything is deterministic in the seed.
+
+use proptest::prelude::*;
+
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::collectives::{barrier, broadcast, reduce};
+use scibench_sim::drift::DriftingClock;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::network::NetworkModel;
+use scibench_sim::noise::NoiseProfile;
+use scibench_sim::rng::SimRng;
+use scibench_sim::topology::Topology;
+
+fn any_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Crossbar),
+        (2usize..6, 2usize..6, 1usize..5).prop_map(|(g, r, n)| Topology::Dragonfly {
+            groups: g,
+            routers_per_group: r,
+            nodes_per_router: n,
+        }),
+        (4usize..16, 2usize..4).prop_map(|(radix, levels)| Topology::FatTree {
+            radix: radix / 2 * 2, // even radix
+            levels,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hops_are_symmetric_and_zero_on_diagonal(topo in any_topology(), a in 0usize..64, b in 0usize..64) {
+        let cap = match topo {
+            Topology::Crossbar => 64,
+            _ => topo.capacity().min(64),
+        };
+        prop_assume!(cap > 0);
+        let (a, b) = (a % cap, b % cap);
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+        prop_assert_eq!(topo.hops(a, a), 0);
+        if a != b {
+            prop_assert!(topo.hops(a, b) >= 1);
+        }
+        prop_assert!(topo.hops(a, b) <= topo.diameter());
+    }
+
+    #[test]
+    fn noise_never_speeds_things_up(
+        base in 0.0f64..1e7,
+        sigma in 0.0f64..0.5,
+        slow_prob in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let profile = NoiseProfile {
+            jitter_sigma: sigma,
+            daemon_period_ns: 1e5,
+            daemon_cost_ns: 500.0,
+            congestion_prob: 0.05,
+            congestion_scale_ns: 1000.0,
+            congestion_shape: 2.0,
+            slow_path_prob: slow_prob,
+            slow_path_extra_ns: 700.0,
+        };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..20 {
+            prop_assert!(profile.perturb(base, &mut rng) >= base);
+        }
+    }
+
+    #[test]
+    fn transfer_cost_monotone_in_bytes(bytes1 in 0usize..100_000, bytes2 in 0usize..100_000) {
+        let m = MachineSpec::piz_dora();
+        let net = NetworkModel::new(&m);
+        let (lo, hi) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
+        prop_assert!(net.base_transfer_ns(0, 18, lo) <= net.base_transfer_ns(0, 18, hi));
+    }
+
+    #[test]
+    fn reduce_outcome_shape(p in 1usize..100, seed in 0u64..500) {
+        let m = MachineSpec::test_machine(p.max(2));
+        let mut rng = SimRng::new(seed);
+        let alloc = Allocation::one_rank_per_node(&m, p, AllocationPolicy::Packed, &mut rng);
+        let out = reduce(&m, &alloc, 8, &mut rng);
+        prop_assert_eq!(out.ranks(), p);
+        prop_assert!(out.per_rank_done_ns.iter().all(|t| t.is_finite() && *t >= 0.0));
+        // Root finishes last on a quiet machine.
+        prop_assert!((out.per_rank_done_ns[0] - out.max_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_ranks(p in 1usize..100, seed in 0u64..500) {
+        let m = MachineSpec::test_machine(p.max(2));
+        let mut rng = SimRng::new(seed);
+        let alloc = Allocation::one_rank_per_node(&m, p, AllocationPolicy::Packed, &mut rng);
+        let out = broadcast(&m, &alloc, 64, &mut rng);
+        prop_assert!(out.per_rank_done_ns.iter().all(|t| t.is_finite()));
+        prop_assert_eq!(out.per_rank_done_ns[0], 0.0);
+        // Depth bound: ceil(log2 p) messages of equal quiet cost.
+        if p > 1 {
+            let net = NetworkModel::new(&m);
+            let one = net.base_transfer_ns(0, 1, 64);
+            let depth = (p as f64).log2().ceil();
+            prop_assert!(out.max_ns() <= depth * one + 1e-6);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_quiet_ranks(p in 2usize..100, seed in 0u64..500) {
+        let m = MachineSpec::test_machine(p);
+        let mut rng = SimRng::new(seed);
+        let alloc = Allocation::one_rank_per_node(&m, p, AllocationPolicy::Packed, &mut rng);
+        let out = barrier(&m, &alloc, &mut rng);
+        // All ranks leave together on a uniform quiet crossbar.
+        prop_assert!(out.max_ns() - out.min_ns() < 1e-9);
+    }
+
+    #[test]
+    fn power_of_two_reduce_never_slower_than_successor(k in 2u32..6, seed in 0u64..200) {
+        let p = 2usize.pow(k);
+        let run = |ranks: usize| {
+            let m = MachineSpec::test_machine(ranks);
+            let mut rng = SimRng::new(seed);
+            let alloc =
+                Allocation::one_rank_per_node(&m, ranks, AllocationPolicy::Packed, &mut rng);
+            reduce(&m, &alloc, 8, &mut rng).max_ns()
+        };
+        prop_assert!(run(p) <= run(p + 1));
+    }
+
+    #[test]
+    fn random_allocation_nodes_distinct(p in 1usize..128, seed in 0u64..500) {
+        let m = MachineSpec::piz_daint();
+        let mut rng = SimRng::new(seed);
+        let alloc = Allocation::one_rank_per_node(&m, p, AllocationPolicy::Random, &mut rng);
+        let mut nodes = alloc.node_of.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        prop_assert_eq!(nodes.len(), p);
+        prop_assert!(alloc.node_of.iter().all(|&n| n < m.nodes));
+    }
+
+    #[test]
+    fn drifting_clock_round_trips(offset in -1e9f64..1e9, drift in -1e-4f64..1e-4, t in 0.0f64..1e12) {
+        let c = DriftingClock { offset_ns: offset, drift };
+        let back = c.global_from_local(c.local_from_global(t));
+        prop_assert!((back - t).abs() < 1e-2 * (1.0 + t.abs() * 1e-9));
+    }
+
+    #[test]
+    fn rng_forks_are_reproducible(seed in 0u64..10_000, label in "[a-z]{1,8}") {
+        let a: Vec<f64> = {
+            let mut r = SimRng::new(seed).fork(&label);
+            (0..5).map(|_| r.uniform()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = SimRng::new(seed).fork(&label);
+            (0..5).map(|_| r.uniform()).collect()
+        };
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hpl_runs_are_physical(seed in 0u64..300) {
+        use scibench_sim::hpl::{hpl_run, HplConfig};
+        let m = MachineSpec::piz_daint();
+        let c = HplConfig::paper_figure1();
+        let mut rng = SimRng::new(seed);
+        let r = hpl_run(&m, &c, &mut rng);
+        // Efficiency in (0, best]; time consistent with rate.
+        prop_assert!(r.efficiency > 0.0 && r.efficiency <= c.best_efficiency);
+        prop_assert!((r.flops_per_s * r.time_s - c.flops()).abs() / c.flops() < 1e-9);
+    }
+
+    #[test]
+    fn pi_model_time_monotone_in_segments(p in 1usize..8) {
+        use scibench_sim::pi::{model_time_s, PiConfig};
+        // Within the flat-overhead segment (p <= 8), time strictly
+        // decreases with p.
+        let c = PiConfig::paper_figure7();
+        prop_assert!(model_time_s(&c, p + 1) < model_time_s(&c, p));
+    }
+}

@@ -1,0 +1,190 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! The paper (§7) places the bootstrap "beyond the scope of our work" but
+//! the library uses it where no analytic CI exists — e.g. the difference of
+//! quantiles in quantile regression, or the CI of a coefficient of
+//! variation. Resampling is fully deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ci::ConfidenceInterval;
+use crate::error::{StatsError, StatsResult};
+use crate::quantile::{quantile_sorted, QuantileMethod};
+use crate::validate_samples;
+
+/// Percentile-bootstrap CI of an arbitrary statistic.
+///
+/// Draws `reps` resamples of `xs` (with replacement), applies `statistic`
+/// to each and returns the empirical `(α/2, 1−α/2)` quantiles of the
+/// resampled statistics around the point estimate on the original data.
+///
+/// `statistic` must return a finite value for every non-empty resample.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    confidence: f64,
+    reps: usize,
+    seed: u64,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> StatsResult<ConfidenceInterval> {
+    validate_samples(xs)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
+    }
+    if reps < 10 {
+        return Err(StatsError::InvalidParameter {
+            name: "reps",
+            value: reps as f64,
+        });
+    }
+    let estimate = statistic(xs);
+    if !estimate.is_finite() {
+        return Err(StatsError::NonFiniteSample);
+    }
+    let n = xs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut resample = vec![0.0f64; n];
+    let mut stats = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        let s = statistic(&resample);
+        if !s.is_finite() {
+            return Err(StatsError::NonFiniteSample);
+        }
+        stats.push(s);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let alpha = 1.0 - confidence;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: quantile_sorted(&stats, alpha / 2.0, QuantileMethod::Interpolated),
+        upper: quantile_sorted(&stats, 1.0 - alpha / 2.0, QuantileMethod::Interpolated),
+        confidence,
+    })
+}
+
+/// Bootstrap CI of the difference `statistic(a) − statistic(b)` under
+/// independent resampling of both groups.
+pub fn bootstrap_diff_ci(
+    a: &[f64],
+    b: &[f64],
+    confidence: f64,
+    reps: usize,
+    seed: u64,
+    statistic: impl Fn(&[f64]) -> f64,
+) -> StatsResult<ConfidenceInterval> {
+    validate_samples(a)?;
+    validate_samples(b)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
+    }
+    if reps < 10 {
+        return Err(StatsError::InvalidParameter {
+            name: "reps",
+            value: reps as f64,
+        });
+    }
+    let estimate = statistic(a) - statistic(b);
+    if !estimate.is_finite() {
+        return Err(StatsError::NonFiniteSample);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ra = vec![0.0f64; a.len()];
+    let mut rb = vec![0.0f64; b.len()];
+    let mut stats = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        for slot in ra.iter_mut() {
+            *slot = a[rng.gen_range(0..a.len())];
+        }
+        for slot in rb.iter_mut() {
+            *slot = b[rng.gen_range(0..b.len())];
+        }
+        stats.push(statistic(&ra) - statistic(&rb));
+    }
+    stats.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let alpha = 1.0 - confidence;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower: quantile_sorted(&stats, alpha / 2.0, QuantileMethod::Interpolated),
+        upper: quantile_sorted(&stats, 1.0 - alpha / 2.0, QuantileMethod::Interpolated),
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::arithmetic_mean;
+
+    fn sample(n: usize, mu: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                mu + crate::dist::normal::std_normal_inv_cdf(u)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_mean_ci_contains_truth() {
+        let xs = sample(200, 10.0);
+        let ci = bootstrap_ci(&xs, 0.95, 500, 42, |s| arithmetic_mean(s).unwrap()).unwrap();
+        assert!(ci.contains(10.0), "{ci:?}");
+        assert!(ci.lower < ci.estimate && ci.estimate < ci.upper);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_given_seed() {
+        let xs = sample(50, 3.0);
+        let f = |s: &[f64]| arithmetic_mean(s).unwrap();
+        let a = bootstrap_ci(&xs, 0.95, 300, 7, f).unwrap();
+        let b = bootstrap_ci(&xs, 0.95, 300, 7, f).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci(&xs, 0.95, 300, 8, f).unwrap();
+        assert_ne!(a.lower, c.lower);
+    }
+
+    #[test]
+    fn bootstrap_ci_narrows_with_n() {
+        let small = sample(20, 0.0);
+        let large = sample(2000, 0.0);
+        let f = |s: &[f64]| arithmetic_mean(s).unwrap();
+        let ci_s = bootstrap_ci(&small, 0.95, 300, 1, f).unwrap();
+        let ci_l = bootstrap_ci(&large, 0.95, 300, 1, f).unwrap();
+        assert!(ci_l.width() < ci_s.width());
+    }
+
+    #[test]
+    fn diff_ci_detects_shift() {
+        let a = sample(300, 5.0);
+        let b = sample(300, 4.0);
+        let ci = bootstrap_diff_ci(&a, &b, 0.95, 400, 9, |s| arithmetic_mean(s).unwrap()).unwrap();
+        assert!((ci.estimate - 1.0).abs() < 0.05);
+        assert!(!ci.contains(0.0));
+    }
+
+    #[test]
+    fn diff_ci_no_shift_contains_zero() {
+        let a = sample(300, 5.0);
+        let ci = bootstrap_diff_ci(&a, &a, 0.95, 400, 9, |s| arithmetic_mean(s).unwrap()).unwrap();
+        assert!(ci.contains(0.0));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let xs = [1.0, 2.0];
+        let f = |s: &[f64]| s[0];
+        assert!(bootstrap_ci(&[], 0.95, 100, 0, f).is_err());
+        assert!(bootstrap_ci(&xs, 0.0, 100, 0, f).is_err());
+        assert!(bootstrap_ci(&xs, 0.95, 5, 0, f).is_err());
+        assert!(bootstrap_diff_ci(&xs, &xs, 2.0, 100, 0, f).is_err());
+    }
+}

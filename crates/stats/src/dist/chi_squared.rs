@@ -1,0 +1,121 @@
+//! χ² distribution, used to assess the Kruskal–Wallis H statistic (§3.2.2).
+
+use crate::error::{StatsError, StatsResult};
+use crate::special::{gamma_p, ln_gamma};
+
+use super::{bisect_inv_cdf, ContinuousDistribution};
+
+/// χ² distribution with `k` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    k: f64,
+}
+
+impl ChiSquared {
+    /// Creates the distribution; `k` must be positive and finite.
+    pub fn new(k: f64) -> StatsResult<Self> {
+        if !(k.is_finite() && k > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "k",
+                value: k,
+            });
+        }
+        Ok(Self { k })
+    }
+
+    /// Degrees of freedom.
+    pub fn degrees_of_freedom(&self) -> f64 {
+        self.k
+    }
+
+    /// Upper-tail critical value `χ²(k, α)`: `P[X > x] = α`.
+    pub fn critical(&self, alpha: f64) -> StatsResult<f64> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(StatsError::InvalidProbability {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        Ok(self.inv_cdf(1.0 - alpha))
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let half_k = self.k / 2.0;
+        ((half_k - 1.0) * x.ln() - x / 2.0 - half_k * 2.0f64.ln() - ln_gamma(half_k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        gamma_p(self.k / 2.0, x / 2.0)
+    }
+
+    fn inv_cdf(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "ChiSquared::inv_cdf requires 0 < p < 1");
+        bisect_inv_cdf(|x| self.cdf(x), p, 0.0, self.k.max(1.0) * 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        // χ²(1): cdf(3.841459) = 0.95 (the classic 95% critical value).
+        let c1 = ChiSquared::new(1.0).unwrap();
+        assert!((c1.cdf(3.841_459) - 0.95).abs() < 1e-6);
+        // χ²(2) is Exp(1/2): cdf(x) = 1 - exp(-x/2).
+        let c2 = ChiSquared::new(2.0).unwrap();
+        for &x in &[0.5, 2.0, 6.0] {
+            assert!((c2.cdf(x) - (1.0 - (-x / 2.0f64).exp())).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn critical_values_match_table() {
+        let cases = [
+            (1.0, 0.05, 3.841),
+            (2.0, 0.05, 5.991),
+            (3.0, 0.05, 7.815),
+            (5.0, 0.01, 15.086),
+            (10.0, 0.05, 18.307),
+        ];
+        for (k, alpha, want) in cases {
+            let got = ChiSquared::new(k).unwrap().critical(alpha).unwrap();
+            assert!(
+                (got - want).abs() < 2e-3,
+                "chi2({k},{alpha}): {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn inv_round_trip() {
+        let c = ChiSquared::new(7.0).unwrap();
+        for &p in &[0.05, 0.3, 0.75, 0.99] {
+            let x = c.inv_cdf(p);
+            assert!((c.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let c = ChiSquared::new(3.0).unwrap();
+        assert_eq!(c.pdf(-1.0), 0.0);
+        assert_eq!(c.cdf(-5.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(f64::NAN).is_err());
+        assert!(ChiSquared::new(2.0).unwrap().critical(1.5).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Fisher's F distribution, used to assess the one-way ANOVA statistic
+//! (§3.2.1: the computed F ratio must exceed `F_crit(k−1, nk−k, α)`).
+
+use crate::error::{StatsError, StatsResult};
+use crate::special::{beta_inc, ln_gamma};
+
+use super::{bisect_inv_cdf, ContinuousDistribution};
+
+/// F distribution with `d1` numerator and `d2` denominator degrees of
+/// freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    d1: f64,
+    d2: f64,
+}
+
+impl FisherF {
+    /// Creates the distribution; both degrees of freedom must be positive.
+    pub fn new(d1: f64, d2: f64) -> StatsResult<Self> {
+        if !(d1.is_finite() && d1 > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "d1",
+                value: d1,
+            });
+        }
+        if !(d2.is_finite() && d2 > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "d2",
+                value: d2,
+            });
+        }
+        Ok(Self { d1, d2 })
+    }
+
+    /// Numerator degrees of freedom.
+    pub fn d1(&self) -> f64 {
+        self.d1
+    }
+
+    /// Denominator degrees of freedom.
+    pub fn d2(&self) -> f64 {
+        self.d2
+    }
+
+    /// Upper-tail critical value `F_crit(d1, d2, α)`: `P[F > x] = α`.
+    pub fn critical(&self, alpha: f64) -> StatsResult<f64> {
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(StatsError::InvalidProbability {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        Ok(self.inv_cdf(1.0 - alpha))
+    }
+}
+
+impl ContinuousDistribution for FisherF {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        let ln_b = ln_gamma(d1 / 2.0) + ln_gamma(d2 / 2.0) - ln_gamma((d1 + d2) / 2.0);
+        let ln_num = (d1 / 2.0) * (d1 / d2).ln() + (d1 / 2.0 - 1.0) * x.ln()
+            - ((d1 + d2) / 2.0) * (1.0 + d1 * x / d2).ln();
+        (ln_num - ln_b).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.d1, self.d2);
+        beta_inc(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2))
+    }
+
+    fn inv_cdf(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "FisherF::inv_cdf requires 0 < p < 1");
+        bisect_inv_cdf(|x| self.cdf(x), p, 0.0, 10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_values_match_f_table() {
+        // Classic F-table values at alpha = 0.05.
+        let cases = [
+            (1.0, 10.0, 0.05, 4.965),
+            (2.0, 12.0, 0.05, 3.885),
+            (3.0, 20.0, 0.05, 3.098),
+            (5.0, 30.0, 0.05, 2.534),
+            (2.0, 12.0, 0.01, 6.927),
+        ];
+        for (d1, d2, alpha, want) in cases {
+            let got = FisherF::new(d1, d2).unwrap().critical(alpha).unwrap();
+            assert!(
+                (got - want).abs() < 5e-3,
+                "F({d1},{d2},{alpha}): {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn f_of_squared_t_matches_t() {
+        // If T ~ t(df) then T² ~ F(1, df): P[F <= x²] = P[|T| <= x].
+        use crate::dist::student_t::StudentT;
+        let df = 9.0;
+        let t = StudentT::new(df).unwrap();
+        let f = FisherF::new(1.0, df).unwrap();
+        for &x in &[0.5, 1.0, 2.0] {
+            let via_t = t.cdf(x) - t.cdf(-x);
+            assert!((f.cdf(x * x) - via_t).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inv_round_trip() {
+        let f = FisherF::new(4.0, 16.0).unwrap();
+        for &p in &[0.1, 0.5, 0.9, 0.99] {
+            let x = f.inv_cdf(p);
+            assert!((f.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pdf_zero_below_support() {
+        let f = FisherF::new(3.0, 5.0).unwrap();
+        assert_eq!(f.pdf(0.0), 0.0);
+        assert_eq!(f.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(FisherF::new(0.0, 1.0).is_err());
+        assert!(FisherF::new(1.0, -2.0).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Log-normal distribution.
+//!
+//! §3.1.2 of the paper: "Many nondeterministic measurements that are always
+//! positive are skewed to the right and have a long tail following a so
+//! called log-normal distribution." The simulator uses this distribution as
+//! its primary noise model and the normalization pipeline inverts it.
+
+use crate::error::{StatsError, StatsResult};
+use crate::special::erfc;
+
+use super::{normal::std_normal_inv_cdf, ContinuousDistribution};
+
+/// Log-normal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution; `sigma` must be positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> StatsResult<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Location parameter of the underlying normal (`E[ln X]`).
+    pub fn location(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter of the underlying normal (`sd[ln X]`).
+    pub fn scale(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Mean of the distribution: `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    /// Median of the distribution: `exp(mu)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    fn inv_cdf(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "LogNormal::inv_cdf requires 0 < p < 1");
+        (self.mu + self.sigma * std_normal_inv_cdf(p)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = LogNormal::new(1.2, 0.4).unwrap();
+        assert!((d.cdf(d.median()) - 0.5).abs() < 1e-10);
+        assert!((d.median() - 1.2f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_exceeds_median_right_skew() {
+        // Right-skew: mean > median, exactly as the paper describes for
+        // latency measurements.
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert!(d.mean() > d.median());
+        assert!((d.mean() - 0.5f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inv_round_trip() {
+        let d = LogNormal::new(-0.5, 0.7).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+            let x = d.inv_cdf(p);
+            assert!((d.cdf(x) - p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn support_is_positive() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.cdf(-3.0), 0.0);
+        assert!(d.inv_cdf(0.001) > 0.0);
+    }
+
+    #[test]
+    fn variance_formula() {
+        let d = LogNormal::new(0.3, 0.5).unwrap();
+        let want = ((0.25f64).exp() - 1.0) * (0.6 + 0.25f64).exp();
+        assert!((d.variance() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Probability distributions used by the benchmarking statistics.
+//!
+//! All distributions expose `pdf`, `cdf` and `inv_cdf` (quantile function)
+//! where meaningful. Only the distributions actually required by the
+//! paper's techniques are provided: the standard normal (z-values for rank
+//! CIs), Student's t (CIs of the mean), χ² (Kruskal–Wallis), F (ANOVA) and
+//! the log-normal (noise modeling and log-normalization).
+
+pub mod chi_squared;
+pub mod fisher_f;
+pub mod lognormal;
+pub mod normal;
+pub mod student_t;
+
+pub use chi_squared::ChiSquared;
+pub use fisher_f::FisherF;
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use student_t::StudentT;
+
+/// Common interface of the univariate continuous distributions in this
+/// module.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative distribution function `P[X ≤ x]`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Quantile function: the `p`-quantile for `p ∈ (0, 1)`.
+    fn inv_cdf(&self, p: f64) -> f64;
+}
+
+/// Generic bracketing + bisection inverse CDF used by distributions whose
+/// quantile function has no convenient closed form (t, χ², F).
+///
+/// `cdf` must be monotone non-decreasing. The bracket `[lo, hi]` is expanded
+/// geometrically until it contains the target probability, then bisected to
+/// ~1e-12 absolute x-tolerance (capped at 200 iterations).
+pub(crate) fn bisect_inv_cdf(cdf: impl Fn(f64) -> f64, p: f64, mut lo: f64, mut hi: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // Expand the bracket until cdf(lo) <= p <= cdf(hi).
+    let mut guard = 0;
+    while cdf(lo) > p && guard < 200 {
+        let width = (hi - lo).max(1.0);
+        lo -= width;
+        guard += 1;
+    }
+    guard = 0;
+    while cdf(hi) < p && guard < 200 {
+        let width = (hi - lo).max(1.0);
+        hi += width;
+        guard += 1;
+    }
+    let mut mid = 0.5 * (lo + hi);
+    for _ in 0..200 {
+        mid = 0.5 * (lo + hi);
+        if hi - lo < 1e-12 * (1.0 + mid.abs()) {
+            break;
+        }
+        if cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_recovers_identity() {
+        // cdf(x) = x on [0, 1]
+        let q = bisect_inv_cdf(|x| x.clamp(0.0, 1.0), 0.3, 0.0, 1.0);
+        assert!((q - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_expands_bracket() {
+        // cdf centered far from the initial bracket.
+        let cdf = |x: f64| 1.0 / (1.0 + (-(x - 50.0)).exp());
+        let q = bisect_inv_cdf(cdf, 0.5, 0.0, 1.0);
+        assert!((q - 50.0).abs() < 1e-6);
+    }
+}

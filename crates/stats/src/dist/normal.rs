@@ -1,0 +1,235 @@
+//! Normal (Gaussian) distribution.
+
+use crate::error::{StatsError, StatsResult};
+use crate::special::erfc;
+
+use super::ContinuousDistribution;
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `sigma` must be positive and finite.
+    pub fn new(mu: f64, sigma: f64) -> StatsResult<Self> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// The standard normal distribution N(0, 1).
+    pub fn standard() -> Self {
+        Self {
+            mu: 0.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// CDF of the standard normal distribution.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// PDF of the standard normal distribution.
+pub fn std_normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Quantile function of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation (relative error < 1.15e-9),
+/// followed by one Halley refinement step against the erfc-based CDF,
+/// which brings the result to near machine precision.
+///
+/// # Panics
+/// Panics if `p` is not strictly inside (0, 1).
+#[allow(clippy::excessive_precision)] // Acklam's constants kept verbatim
+pub fn std_normal_inv_cdf(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "std_normal_inv_cdf requires 0 < p < 1, got {p}"
+    );
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One step of Halley's method against the high-precision CDF.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+/// Two-sided critical z-value: `z(α/2)` with `P[|Z| > z] = α`.
+///
+/// Used by the nonparametric rank confidence intervals (§3.1.3 of the
+/// paper), e.g. `z_critical(0.05) ≈ 1.96`.
+pub fn z_critical(alpha: f64) -> StatsResult<f64> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "alpha",
+            value: alpha,
+        });
+    }
+    Ok(std_normal_inv_cdf(1.0 - alpha / 2.0))
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        std_normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn inv_cdf(&self, p: f64) -> f64 {
+        self.mu + self.sigma * std_normal_inv_cdf(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_values() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((std_normal_cdf(1.959_963_985) - 0.975).abs() < 1e-7);
+        assert!((std_normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-7);
+        assert!((std_normal_cdf(1.0) - 0.841_344_746).abs() < 1e-7);
+        assert!((std_normal_cdf(2.326_347_874) - 0.99).abs() < 1e-7);
+    }
+
+    #[test]
+    fn inv_cdf_round_trips() {
+        for &p in &[1e-6, 0.01, 0.025, 0.2, 0.5, 0.8, 0.975, 0.99, 1.0 - 1e-6] {
+            let z = std_normal_inv_cdf(p);
+            assert!(
+                (std_normal_cdf(z) - p).abs() < 1e-9,
+                "round trip failed at p={p}: z={z}, cdf={}",
+                std_normal_cdf(z)
+            );
+        }
+    }
+
+    #[test]
+    fn inv_cdf_known_quantiles() {
+        assert!((std_normal_inv_cdf(0.975) - 1.959_963_985).abs() < 1e-7);
+        assert!((std_normal_inv_cdf(0.995) - 2.575_829_304).abs() < 1e-7);
+        assert!(std_normal_inv_cdf(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_critical_matches_textbook() {
+        assert!((z_critical(0.05).unwrap() - 1.96).abs() < 1e-2);
+        assert!((z_critical(0.01).unwrap() - 2.576).abs() < 1e-3);
+        assert!(z_critical(0.0).is_err());
+        assert!(z_critical(1.0).is_err());
+    }
+
+    #[test]
+    fn scaled_normal_pdf_integrates_to_one() {
+        let n = Normal::new(3.0, 2.0).unwrap();
+        // Trapezoid over ±8 sigma.
+        let (a, b, steps) = (3.0 - 16.0, 3.0 + 16.0, 4000);
+        let h = (b - a) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * n.pdf(x);
+        }
+        total *= h;
+        assert!((total - 1.0).abs() < 1e-6, "integral = {total}");
+    }
+
+    #[test]
+    fn scaled_normal_quantiles() {
+        let n = Normal::new(10.0, 3.0).unwrap();
+        assert!((n.inv_cdf(0.5) - 10.0).abs() < 1e-9);
+        assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+        let q = n.inv_cdf(0.975);
+        assert!((q - (10.0 + 3.0 * 1.959_963_985)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 0 < p < 1")]
+    fn inv_cdf_rejects_out_of_range() {
+        std_normal_inv_cdf(1.0);
+    }
+}

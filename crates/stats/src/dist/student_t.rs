@@ -1,0 +1,172 @@
+//! Student's t distribution.
+//!
+//! Needed for confidence intervals of the mean (§3.1.2 of the paper):
+//! `[x̄ − t(n−1, α/2)·s/√n, x̄ + t(n−1, α/2)·s/√n]`.
+
+use crate::error::{StatsError, StatsResult};
+use crate::special::{beta_inc, ln_gamma};
+
+use super::{bisect_inv_cdf, ContinuousDistribution};
+
+/// Student's t distribution with `nu` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    nu: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution; `nu` must be positive and finite.
+    pub fn new(nu: f64) -> StatsResult<Self> {
+        if !(nu.is_finite() && nu > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "nu",
+                value: nu,
+            });
+        }
+        Ok(Self { nu })
+    }
+
+    /// Degrees of freedom.
+    pub fn degrees_of_freedom(&self) -> f64 {
+        self.nu
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        let ln_coeff = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_coeff - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let nu = self.nu;
+        if x == 0.0 {
+            return 0.5;
+        }
+        // P[T <= x] via the regularized incomplete beta function.
+        let ib = beta_inc(nu / 2.0, 0.5, nu / (nu + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn inv_cdf(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p < 1.0,
+            "StudentT::inv_cdf requires 0 < p < 1, got {p}"
+        );
+        if (p - 0.5).abs() < 1e-16 {
+            return 0.0;
+        }
+        // Symmetric: solve for the upper half, mirror for the lower.
+        if p < 0.5 {
+            return -self.inv_cdf(1.0 - p);
+        }
+        bisect_inv_cdf(|x| self.cdf(x), p, 0.0, 10.0)
+    }
+}
+
+/// Two-sided critical value `t(df, α/2)` such that `P[|T| > t] = α`.
+///
+/// This is the factor used in the paper's CI formula; for large `df` it
+/// converges to the normal `z(α/2)`.
+pub fn t_critical(df: f64, alpha: f64) -> StatsResult<f64> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "alpha",
+            value: alpha,
+        });
+    }
+    let t = StudentT::new(df)?;
+    Ok(t.inv_cdf(1.0 - alpha / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::normal::std_normal_cdf;
+
+    #[test]
+    fn cdf_is_symmetric() {
+        let t = StudentT::new(7.0).unwrap();
+        for &x in &[0.3, 1.1, 2.7] {
+            assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // t with 10 df: P[T <= 1.812461] = 0.95 (textbook t-table).
+        let t = StudentT::new(10.0).unwrap();
+        assert!((t.cdf(1.812_461) - 0.95).abs() < 1e-5);
+        // t with 1 df is the Cauchy distribution: cdf(1) = 0.75.
+        let cauchy = StudentT::new(1.0).unwrap();
+        assert!((cauchy.cdf(1.0) - 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn critical_values_match_t_table() {
+        // Classic two-sided t-table values.
+        let cases = [
+            (1.0, 0.05, 12.706),
+            (2.0, 0.05, 4.303),
+            (5.0, 0.05, 2.571),
+            (10.0, 0.05, 2.228),
+            (30.0, 0.05, 2.042),
+            (10.0, 0.01, 3.169),
+            (100.0, 0.05, 1.984),
+        ];
+        for (df, alpha, want) in cases {
+            let got = t_critical(df, alpha).unwrap();
+            assert!(
+                (got - want).abs() < 2e-3,
+                "t({df}, {alpha}/2): got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_df() {
+        let t = StudentT::new(1e6).unwrap();
+        for &x in &[-2.0, -0.5, 0.0, 1.0, 2.5] {
+            assert!((t.cdf(x) - std_normal_cdf(x)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn inv_cdf_round_trips() {
+        let t = StudentT::new(4.0).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+            let x = t.inv_cdf(p);
+            assert!((t.cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let t = StudentT::new(5.0).unwrap();
+        // Numeric integral of the pdf from -40 to 1.0 should equal cdf(1.0).
+        let (a, b, steps) = (-40.0, 1.0, 20_000);
+        let h: f64 = (b - a) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let x = a + i as f64 * h;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * t.pdf(x);
+        }
+        total *= h;
+        assert!((total - t.cdf(1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+        assert!(t_critical(5.0, 0.0).is_err());
+    }
+}

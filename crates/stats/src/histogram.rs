@@ -1,0 +1,166 @@
+//! Histograms (§5.2: "Histograms show the complete distribution of data").
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+use crate::quantile::FiveNumberSummary;
+use crate::validate_samples;
+
+/// Bin-count selection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinRule {
+    /// Sturges' rule: `⌈log₂ n⌉ + 1` bins.
+    Sturges,
+    /// Freedman–Diaconis: bin width `2·IQR·n^(−1/3)` (robust to outliers).
+    FreedmanDiaconis,
+    /// Exactly this many bins.
+    Fixed(usize),
+}
+
+/// A computed histogram with equal-width bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Left edge of each bin (ascending). `edges.len() == counts.len()+1`.
+    pub edges: Vec<f64>,
+    /// Observation count per bin.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub n: usize,
+}
+
+impl Histogram {
+    /// Bin width (uniform).
+    pub fn bin_width(&self) -> f64 {
+        self.edges[1] - self.edges[0]
+    }
+
+    /// Density value of bin `i` (count normalized by n·width), so the
+    /// histogram integrates to 1 and is comparable with a KDE curve.
+    pub fn density(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / (self.n as f64 * self.bin_width())
+    }
+
+    /// Index of the fullest bin.
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Builds a histogram of `xs` using `rule`.
+pub fn histogram(xs: &[f64], rule: BinRule) -> StatsResult<Histogram> {
+    validate_samples(xs)?;
+    let n = xs.len();
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let bins = match rule {
+        BinRule::Fixed(b) => {
+            if b == 0 {
+                return Err(StatsError::InvalidParameter {
+                    name: "bins",
+                    value: 0.0,
+                });
+            }
+            b
+        }
+        BinRule::Sturges => ((n as f64).log2().ceil() as usize) + 1,
+        BinRule::FreedmanDiaconis => {
+            let iqr = FiveNumberSummary::from_samples(xs)?.iqr();
+            if iqr <= 0.0 || max <= min {
+                1
+            } else {
+                let width = 2.0 * iqr * (n as f64).powf(-1.0 / 3.0);
+                (((max - min) / width).ceil() as usize).clamp(1, 10_000)
+            }
+        }
+    };
+
+    // Degenerate range: single bin containing everything.
+    let (lo, hi) = if max > min {
+        (min, max)
+    } else {
+        (min - 0.5, min + 0.5)
+    };
+    let width = (hi - lo) / bins as f64;
+    let edges: Vec<f64> = (0..=bins).map(|i| lo + i as f64 * width).collect();
+    let mut counts = vec![0u64; bins];
+    for &x in xs {
+        let mut idx = ((x - lo) / width) as usize;
+        if idx >= bins {
+            idx = bins - 1; // max lands in the last bin
+        }
+        counts[idx] += 1;
+    }
+    Ok(Histogram { edges, counts, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_n() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.77).sin() * 3.0).collect();
+        let h = histogram(&xs, BinRule::Sturges).unwrap();
+        assert_eq!(h.counts.iter().sum::<u64>(), 100);
+        assert_eq!(h.edges.len(), h.counts.len() + 1);
+    }
+
+    #[test]
+    fn fixed_bin_count_respected() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let h = histogram(&xs, BinRule::Fixed(2)).unwrap();
+        assert_eq!(h.counts.len(), 2);
+        assert_eq!(h.counts, vec![2, 2]);
+    }
+
+    #[test]
+    fn max_value_included_in_last_bin() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let h = histogram(&xs, BinRule::Fixed(4)).unwrap();
+        assert_eq!(h.counts.iter().sum::<u64>(), 5);
+        assert_eq!(*h.counts.last().unwrap(), 2); // 3.0 and 4.0
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 37) as f64).collect();
+        let h = histogram(&xs, BinRule::Fixed(10)).unwrap();
+        let total: f64 = (0..10).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sturges_bin_count() {
+        let xs: Vec<f64> = (0..64).map(f64::from).collect();
+        let h = histogram(&xs, BinRule::Sturges).unwrap();
+        assert_eq!(h.counts.len(), 7); // ceil(log2(64)) + 1
+    }
+
+    #[test]
+    fn constant_data_single_bin() {
+        let h = histogram(&[5.0; 20], BinRule::FreedmanDiaconis).unwrap();
+        assert_eq!(h.counts.iter().sum::<u64>(), 20);
+        assert_eq!(h.mode_bin(), 0);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut xs = vec![0.1; 50];
+        xs.extend(vec![0.9; 10]);
+        let h = histogram(&xs, BinRule::Fixed(2)).unwrap();
+        assert_eq!(h.mode_bin(), 0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(histogram(&[], BinRule::Sturges).is_err());
+        assert!(histogram(&[1.0], BinRule::Fixed(0)).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Statistical power analysis for comparison experiments.
+//!
+//! §4.2.2 of the paper plans the number of measurements needed to *estimate*
+//! a quantity to a target precision; this module answers the dual planning
+//! question for *comparisons* (Rule 7): how many measurements per group are
+//! needed so that a real difference of a given effect size is actually
+//! detected — avoiding the under-powered "we observed no significant
+//! difference" non-results the paper's survey is full of.
+//!
+//! Normal-approximation formulas (two-sided two-sample t/z test):
+//!
+//! ```text
+//! n per group = 2 · ((z_{1−α/2} + z_{power}) / d)²
+//! ```
+
+use crate::dist::normal::{std_normal_cdf, std_normal_inv_cdf};
+use crate::error::{StatsError, StatsResult};
+
+/// Number of samples *per group* for a two-sided two-sample comparison to
+/// detect a standardized effect `d` (Cohen's d) at significance `alpha`
+/// with probability `power`.
+pub fn required_samples_two_sample(d: f64, alpha: f64, power: f64) -> StatsResult<usize> {
+    validate(alpha, power)?;
+    if !(d.is_finite() && d != 0.0) {
+        return Err(StatsError::InvalidParameter {
+            name: "d",
+            value: d,
+        });
+    }
+    let z_alpha = std_normal_inv_cdf(1.0 - alpha / 2.0);
+    let z_power = std_normal_inv_cdf(power);
+    let n = 2.0 * ((z_alpha + z_power) / d.abs()).powi(2);
+    Ok(n.ceil().max(2.0) as usize)
+}
+
+/// Achieved power of a two-sided two-sample comparison with `n` samples
+/// per group and true standardized effect `d` at significance `alpha`.
+pub fn power_two_sample(n: usize, d: f64, alpha: f64) -> StatsResult<f64> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "alpha",
+            value: alpha,
+        });
+    }
+    if n < 2 {
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            actual: n,
+        });
+    }
+    if !d.is_finite() {
+        return Err(StatsError::InvalidParameter {
+            name: "d",
+            value: d,
+        });
+    }
+    let z_alpha = std_normal_inv_cdf(1.0 - alpha / 2.0);
+    let ncp = d.abs() * (n as f64 / 2.0).sqrt();
+    // P[|Z + ncp| > z_alpha] ≈ Φ(ncp − z_alpha) + Φ(−ncp − z_alpha).
+    let p = std_normal_cdf(ncp - z_alpha) + std_normal_cdf(-ncp - z_alpha);
+    Ok(p.clamp(0.0, 1.0))
+}
+
+/// The smallest standardized effect detectable with `n` samples per group
+/// at significance `alpha` and the given `power` (the experiment's
+/// "minimum detectable effect", useful for reporting what a null result
+/// actually rules out).
+pub fn minimum_detectable_effect(n: usize, alpha: f64, power: f64) -> StatsResult<f64> {
+    validate(alpha, power)?;
+    if n < 2 {
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            actual: n,
+        });
+    }
+    let z_alpha = std_normal_inv_cdf(1.0 - alpha / 2.0);
+    let z_power = std_normal_inv_cdf(power);
+    Ok((z_alpha + z_power) * (2.0 / n as f64).sqrt())
+}
+
+fn validate(alpha: f64, power: f64) -> StatsResult<()> {
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "alpha",
+            value: alpha,
+        });
+    }
+    if !(power > 0.0 && power < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "power",
+            value: power,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_sample_size() {
+        // Classic: d = 0.5 (medium), alpha = 0.05, power = 0.8 → n ≈ 63-64
+        // per group (z-approximation gives 63; t-correction 64).
+        let n = required_samples_two_sample(0.5, 0.05, 0.8).unwrap();
+        assert!((62..=65).contains(&n), "n = {n}");
+        // Large effect needs few samples.
+        let n = required_samples_two_sample(1.2, 0.05, 0.8).unwrap();
+        assert!(n <= 12, "n = {n}");
+    }
+
+    #[test]
+    fn smaller_effects_need_quadratically_more_samples() {
+        let n_half = required_samples_two_sample(0.5, 0.05, 0.8).unwrap();
+        let n_tenth = required_samples_two_sample(0.1, 0.05, 0.8).unwrap();
+        let ratio = n_tenth as f64 / n_half as f64;
+        assert!((20.0..30.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_round_trips_with_required_n() {
+        for &d in &[0.2, 0.5, 0.8] {
+            let n = required_samples_two_sample(d, 0.05, 0.8).unwrap();
+            let p = power_two_sample(n, d, 0.05).unwrap();
+            assert!(p >= 0.79, "d={d}: power {p} at n={n}");
+            // One fifth the samples: clearly under-powered.
+            let p_low = power_two_sample((n / 5).max(2), d, 0.05).unwrap();
+            assert!(p_low < p);
+        }
+    }
+
+    #[test]
+    fn power_at_zero_effect_is_alpha() {
+        let p = power_two_sample(100, 0.0, 0.05).unwrap();
+        assert!((p - 0.05).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn mde_round_trips() {
+        let n = 100;
+        let mde = minimum_detectable_effect(n, 0.05, 0.8).unwrap();
+        let p = power_two_sample(n, mde, 0.05).unwrap();
+        assert!((p - 0.8).abs() < 0.02, "power {p} at mde {mde}");
+        // More samples → smaller detectable effect.
+        let mde_big = minimum_detectable_effect(1000, 0.05, 0.8).unwrap();
+        assert!(mde_big < mde);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(required_samples_two_sample(0.0, 0.05, 0.8).is_err());
+        assert!(required_samples_two_sample(0.5, 0.0, 0.8).is_err());
+        assert!(required_samples_two_sample(0.5, 0.05, 1.0).is_err());
+        assert!(power_two_sample(1, 0.5, 0.05).is_err());
+        assert!(minimum_detectable_effect(1, 0.05, 0.8).is_err());
+    }
+}

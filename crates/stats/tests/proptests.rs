@@ -1,0 +1,291 @@
+//! Property-based tests of the statistical invariants that Rules 3–8
+//! lean on. Strategies draw arbitrary finite samples; every property must
+//! hold for *all* of them, not just the unit-test fixtures.
+
+use proptest::prelude::*;
+
+use scibench_stats::ci::{mean_ci, median_ci, quantile_ci_ranks};
+use scibench_stats::dist::normal::{std_normal_cdf, std_normal_inv_cdf};
+use scibench_stats::dist::{ChiSquared, ContinuousDistribution, FisherF, StudentT};
+use scibench_stats::histogram::{histogram, BinRule};
+use scibench_stats::kde::{kde, Bandwidth};
+use scibench_stats::normality::{batch_means, shapiro_wilk};
+use scibench_stats::outlier::tukey_filter;
+use scibench_stats::quantile::{quantile, FiveNumberSummary, QuantileMethod};
+use scibench_stats::quantreg::check_loss;
+use scibench_stats::rank::average_ranks;
+use scibench_stats::summary::{
+    arithmetic_mean, geometric_mean, harmonic_mean, sample_std_dev, OnlineMoments,
+};
+
+/// A modest positive sample.
+fn positive_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..1e6, 2..200)
+}
+
+/// Any finite sample (possibly negative).
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 2..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mean_inequality_chain(xs in positive_samples()) {
+        // Rule 3/4 backbone: HM <= GM <= AM for positive data.
+        let am = arithmetic_mean(&xs).unwrap();
+        let gm = geometric_mean(&xs).unwrap();
+        let hm = harmonic_mean(&xs).unwrap();
+        prop_assert!(hm <= gm * (1.0 + 1e-9));
+        prop_assert!(gm <= am * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn means_are_scale_equivariant(xs in positive_samples(), c in 0.01f64..100.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * c).collect();
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        prop_assert!(rel(arithmetic_mean(&scaled).unwrap(), c * arithmetic_mean(&xs).unwrap()) < 1e-9);
+        prop_assert!(rel(harmonic_mean(&scaled).unwrap(), c * harmonic_mean(&xs).unwrap()) < 1e-9);
+        prop_assert!(rel(geometric_mean(&scaled).unwrap(), c * geometric_mean(&xs).unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn mean_bounded_by_extremes(xs in finite_samples()) {
+        let m = arithmetic_mean(&xs).unwrap();
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(min - 1e-9 <= m && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in finite_samples()) {
+        let online: OnlineMoments = xs.iter().copied().collect();
+        let mean = arithmetic_mean(&xs).unwrap();
+        prop_assert!((online.mean().unwrap() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() >= 2 {
+            let sd = sample_std_dev(&xs).unwrap();
+            prop_assert!((online.std_dev().unwrap() - sd).abs() < 1e-6 * (1.0 + sd));
+        }
+        prop_assert_eq!(online.count() as usize, xs.len());
+    }
+
+    #[test]
+    fn welford_merge_is_consistent(xs in finite_samples(), split in 0usize..200) {
+        let k = split.min(xs.len());
+        let mut left: OnlineMoments = xs[..k].iter().copied().collect();
+        let right: OnlineMoments = xs[k..].iter().copied().collect();
+        left.merge(&right);
+        let whole: OnlineMoments = xs.iter().copied().collect();
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded(xs in finite_samples(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for method in [QuantileMethod::Interpolated, QuantileMethod::NearestRank] {
+            let qlo = quantile(&xs, lo, method).unwrap();
+            let qhi = quantile(&xs, hi, method).unwrap();
+            prop_assert!(qlo <= qhi + 1e-12);
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(min <= qlo && qhi <= max);
+        }
+    }
+
+    #[test]
+    fn five_number_summary_is_ordered(xs in finite_samples()) {
+        let s = FiveNumberSummary::from_samples(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+        prop_assert!(s.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn mean_ci_contains_mean_and_orders_by_confidence(xs in finite_samples()) {
+        prop_assume!(xs.len() >= 3);
+        let m = arithmetic_mean(&xs).unwrap();
+        if let (Ok(c90), Ok(c99)) = (mean_ci(&xs, 0.90), mean_ci(&xs, 0.99)) {
+            prop_assert!(c90.contains(m));
+            prop_assert!(c99.contains(m));
+            prop_assert!(c99.width() >= c90.width() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn median_ci_brackets_the_median(xs in prop::collection::vec(-1e6f64..1e6, 10..300)) {
+        let med = quantile(&xs, 0.5, QuantileMethod::Interpolated).unwrap();
+        if let Ok(ci) = median_ci(&xs, 0.95) {
+            prop_assert!(ci.lower <= med + 1e-12 && med <= ci.upper + 1e-12);
+            // Bounds are observed order statistics.
+            prop_assert!(xs.contains(&ci.lower));
+            prop_assert!(xs.contains(&ci.upper));
+        }
+    }
+
+    #[test]
+    fn quantile_ci_ranks_are_valid(n in 10usize..5000, p in 0.05f64..0.95, conf in 0.80f64..0.99) {
+        if let Ok(rb) = quantile_ci_ranks(n, p, conf) {
+            prop_assert!(rb.lower >= 1);
+            prop_assert!(rb.upper <= n);
+            prop_assert!(rb.lower < rb.upper);
+        }
+    }
+
+    #[test]
+    fn tukey_filter_partitions(xs in finite_samples()) {
+        let f = tukey_filter(&xs).unwrap();
+        prop_assert_eq!(f.kept.len() + f.removed.len(), xs.len());
+        for v in &f.kept {
+            prop_assert!(f.fences.contains(*v));
+        }
+        for v in &f.removed {
+            prop_assert!(!f.fences.contains(*v));
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(xs in finite_samples()) {
+        for rule in [BinRule::Sturges, BinRule::FreedmanDiaconis, BinRule::Fixed(7)] {
+            let h = histogram(&xs, rule).unwrap();
+            prop_assert_eq!(h.counts.iter().sum::<u64>() as usize, xs.len());
+        }
+    }
+
+    #[test]
+    fn batch_means_preserve_mean_on_exact_multiples(
+        blocks in 2usize..20,
+        k in 1usize..10,
+        base in -100.0f64..100.0,
+    ) {
+        let xs: Vec<f64> = (0..blocks * k).map(|i| base + (i % 7) as f64).collect();
+        let b = batch_means(&xs, k).unwrap();
+        prop_assert_eq!(b.len(), blocks);
+        let m1 = arithmetic_mean(&xs).unwrap();
+        let m2 = arithmetic_mean(&b).unwrap();
+        prop_assert!((m1 - m2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_sum_invariant(xs in finite_samples()) {
+        let r = average_ranks(&xs);
+        let n = xs.len() as f64;
+        let total: f64 = r.iter().sum();
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert!(r.iter().all(|&v| v >= 1.0 && v <= n));
+    }
+
+    #[test]
+    fn normal_cdf_inv_round_trip(p in 0.001f64..0.999) {
+        let z = std_normal_inv_cdf(p);
+        prop_assert!((std_normal_cdf(z) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_cdfs_are_monotone(x1 in -50.0f64..50.0, x2 in -50.0f64..50.0, df in 1.0f64..50.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let t = StudentT::new(df).unwrap();
+        prop_assert!(t.cdf(lo) <= t.cdf(hi) + 1e-12);
+        let c = ChiSquared::new(df).unwrap();
+        prop_assert!(c.cdf(lo.abs()) <= c.cdf(hi.abs().max(lo.abs())) + 1e-12);
+        let f = FisherF::new(df, df + 1.0).unwrap();
+        prop_assert!(f.cdf(lo.abs()) <= f.cdf(hi.abs().max(lo.abs())) + 1e-12);
+    }
+
+    #[test]
+    fn shapiro_wilk_outputs_in_range(xs in prop::collection::vec(-100.0f64..100.0, 3..500)) {
+        // Skip constant samples (zero variance is a documented error).
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(max > min);
+        let sw = shapiro_wilk(&xs).unwrap();
+        prop_assert!(sw.w > 0.0 && sw.w <= 1.0, "W = {}", sw.w);
+        prop_assert!((0.0..=1.0).contains(&sw.p_value));
+    }
+
+    #[test]
+    fn kde_density_is_nonnegative_and_normalized(xs in prop::collection::vec(-1e3f64..1e3, 5..300)) {
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(max > min);
+        let d = kde(&xs, Bandwidth::Silverman, 256).unwrap();
+        prop_assert!(d.density.iter().all(|&v| v >= 0.0));
+        prop_assert!((d.integral() - 1.0).abs() < 0.05, "integral {}", d.integral());
+    }
+
+    #[test]
+    fn ecdf_is_a_distribution_function(xs in finite_samples(), probe in -1e6f64..1e6) {
+        use scibench_stats::ecdf::Ecdf;
+        let e = Ecdf::from_samples(&xs).unwrap();
+        let v = e.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Monotone: F(probe) <= F(probe + delta).
+        prop_assert!(v <= e.eval(probe + 1.0) + 1e-15);
+        // Galois: F(inverse(p)) >= p.
+        prop_assert!(e.eval(e.inverse(0.5)) >= 0.5 - 1e-12);
+        // KS distance to itself is 0; to anything else within [0, 1].
+        prop_assert_eq!(e.ks_distance(&e), 0.0);
+    }
+
+    #[test]
+    fn describe_is_internally_consistent(xs in positive_samples()) {
+        use scibench_stats::describe::describe;
+        let d = describe(&xs).unwrap();
+        prop_assert_eq!(d.n, xs.len());
+        // Mean chain for positive data.
+        let gm = d.geometric_mean.unwrap();
+        let hm = d.harmonic_mean.unwrap();
+        prop_assert!(hm <= gm * (1.0 + 1e-9) && gm <= d.mean * (1.0 + 1e-9));
+        // Mean within [min, max].
+        prop_assert!(d.five_number.min - 1e-9 <= d.mean && d.mean <= d.five_number.max + 1e-9);
+    }
+
+    #[test]
+    fn power_is_monotone_in_n_and_effect(
+        n1 in 2usize..500,
+        n2 in 2usize..500,
+        d1 in 0.05f64..2.0,
+        d2 in 0.05f64..2.0,
+    ) {
+        use scibench_stats::power::power_two_sample;
+        let (n_lo, n_hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        let (d_lo, d_hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        // More samples -> more power (same effect).
+        prop_assert!(
+            power_two_sample(n_hi, d_lo, 0.05).unwrap()
+                >= power_two_sample(n_lo, d_lo, 0.05).unwrap() - 1e-12
+        );
+        // Bigger effect -> more power (same n).
+        prop_assert!(
+            power_two_sample(n_lo, d_hi, 0.05).unwrap()
+                >= power_two_sample(n_lo, d_lo, 0.05).unwrap() - 1e-12
+        );
+    }
+
+    #[test]
+    fn check_loss_is_minimized_at_group_quantiles(
+        a in prop::collection::vec(0.0f64..100.0, 10..60),
+        b in prop::collection::vec(0.0f64..100.0, 10..60),
+        tau in 0.1f64..0.9,
+        eps in 0.05f64..5.0,
+    ) {
+        // Exact two-sample QR solution: the nearest-rank quantile is a
+        // minimizer of the check loss, so perturbing either coefficient
+        // cannot decrease it. (The interpolated type-7 quantile is NOT a
+        // minimizer in general — which is why the CI machinery uses order
+        // statistics.)
+        let qa = quantile(&a, tau, QuantileMethod::NearestRank).unwrap();
+        let qb = quantile(&b, tau, QuantileMethod::NearestRank).unwrap();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for &v in &a { x.extend([1.0, 0.0]); y.push(v); }
+        for &v in &b { x.extend([1.0, 1.0]); y.push(v); }
+        let best = [qa, qb - qa];
+        let opt = check_loss(&x, 2, &y, &best, tau);
+        for delta in [[eps, 0.0], [-eps, 0.0], [0.0, eps], [0.0, -eps]] {
+            let cand = [best[0] + delta[0], best[1] + delta[1]];
+            let loss = check_loss(&x, 2, &y, &cand, tau);
+            prop_assert!(loss >= opt - 1e-9, "perturbed loss {loss} < optimum {opt}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Literature-survey model and dataset reproducing **Table 1** of
+//! Hoefler & Belli (SC '15).
+//!
+//! The paper surveys a stratified random sample of 120 papers from three
+//! anonymized conferences (ConfA/ConfB/ConfC ∈ {HPDC, SC, PPoPP}) over
+//! 2011–2014 — 10 papers per conference-year — and grades each paper on
+//! nine experimental-design documentation classes and four data-analysis
+//! practices. 25 papers were not applicable (no real-world performance
+//! numbers).
+//!
+//! The published table reports aggregates (e.g. 79/95 papers document the
+//! processor, 7/95 publish code) plus per-conference-year box plots of
+//! the per-paper scores. The raw per-paper grades are not recoverable
+//! from the paper, so [`dataset::paper_dataset`] *synthesizes* a
+//! per-paper dataset that reproduces every published aggregate exactly
+//! (deterministically, from a fixed seed); the table-rendering and
+//! scoring pipeline then runs end-to-end exactly as it would on real
+//! survey data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod model;
+pub mod score;
+pub mod table;
+
+pub use dataset::paper_dataset;
+pub use model::{AnalysisCriterion, Conference, DesignCriterion, Grade, PaperRecord, Survey};

@@ -1,0 +1,226 @@
+//! Rendering Table 1.
+//!
+//! Produces the text analogue of the paper's Table 1: one row per
+//! criterion with per-conference-year ✓/·/blank cells (10 papers each)
+//! and the `(count/95)` aggregate, followed by the per-group score box
+//! plots and the §2.1 headline statistics.
+
+use std::fmt::Write as _;
+
+use crate::model::{AnalysisCriterion, Conference, DesignCriterion, Grade, Survey, YEARS};
+use crate::score::{group_scores, overall_mean_score, render_mini_box};
+
+fn cell_char(g: Grade) -> char {
+    match g {
+        Grade::Satisfied => 'v',
+        Grade::Unsatisfied => ' ',
+        Grade::NotApplicable => '.',
+    }
+}
+
+/// Renders one criterion row: 12 groups of 10 cells plus the aggregate.
+fn render_row(
+    survey: &Survey,
+    label: &str,
+    grade_of: impl Fn(&crate::model::PaperRecord) -> Grade,
+    count: usize,
+) -> String {
+    let mut row = format!("{label:<30}");
+    for conf in Conference::ALL {
+        for &year in &YEARS {
+            let mut cells = String::with_capacity(10);
+            let mut group = survey.group(conf, year);
+            group.sort_by_key(|p| p.index);
+            for p in group {
+                cells.push(cell_char(grade_of(p)));
+            }
+            row.push_str(&cells);
+            row.push(' ');
+        }
+    }
+    let _ = write!(row, " ({count}/95)");
+    row
+}
+
+/// Renders the full Table 1 as text.
+pub fn render_table1(survey: &Survey) -> String {
+    let mut out = String::new();
+    // Column header.
+    out.push_str(&format!("{:<30}", "Experimental Design"));
+    for conf in Conference::ALL {
+        for &year in &YEARS {
+            let _ = write!(out, "{:<11}", format!("{}{}", conf.label(), year % 100));
+        }
+    }
+    out.push('\n');
+
+    for c in DesignCriterion::ALL {
+        out.push_str(&render_row(
+            survey,
+            c.label(),
+            |p| p.design_grade(c),
+            survey.design_count(c),
+        ));
+        out.push('\n');
+    }
+
+    // Score distributions (the box-plot summary of the real table).
+    out.push_str("\nPer-group design-score distributions (0..9):\n");
+    for g in group_scores(survey) {
+        let _ = writeln!(
+            out,
+            "  {}{}: [{}] median {:.1}",
+            g.conference.label(),
+            g.year % 100,
+            render_mini_box(&g),
+            g.median().unwrap_or(f64::NAN),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  overall mean design score: {:.2}/9",
+        overall_mean_score(survey)
+    );
+
+    out.push_str(&format!("\n{:<30}\n", "Data Analysis"));
+    for c in AnalysisCriterion::ALL {
+        out.push_str(&render_row(
+            survey,
+            c.label(),
+            |p| p.analysis_grade(c),
+            survey.analysis_count(c),
+        ));
+        out.push('\n');
+    }
+
+    // §2.1 headline statistics.
+    let (speedups, missing_base) = survey.speedup_stats();
+    let _ = writeln!(
+        out,
+        "\nSpeedup reporting: {speedups} papers report speedups; {missing_base} ({:.0}%) omit the absolute base case",
+        100.0 * missing_base as f64 / speedups.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "Unambiguous units: {}/95 papers",
+        survey.unambiguous_units_count()
+    );
+    let na = survey.len() - survey.applicable().count();
+    let _ = writeln!(out, "Not applicable: {na}/{} papers", survey.len());
+    out
+}
+
+/// Renders the survey's aggregate columns as a Markdown table (counts per
+/// criterion plus the headline §2.1 statistics) — the form papers and
+/// READMEs embed.
+pub fn render_table1_markdown(survey: &Survey) -> String {
+    let applicable = survey.applicable().count();
+    let mut out = String::from("| Criterion | Papers satisfying |\n|---|---|\n");
+    for c in DesignCriterion::ALL {
+        let _ = writeln!(
+            out,
+            "| {} | {}/{applicable} |",
+            c.label(),
+            survey.design_count(c)
+        );
+    }
+    for c in AnalysisCriterion::ALL {
+        let _ = writeln!(
+            out,
+            "| {} | {}/{applicable} |",
+            c.label(),
+            survey.analysis_count(c)
+        );
+    }
+    let (speedups, missing) = survey.speedup_stats();
+    let _ = writeln!(out, "| Speedups without base case | {missing}/{speedups} |");
+    let _ = writeln!(
+        out,
+        "| Fully unambiguous units | {}/{applicable} |",
+        survey.unambiguous_units_count()
+    );
+    let _ = writeln!(
+        out,
+        "| Mean design-documentation score | {:.2}/9 |",
+        overall_mean_score(survey)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::paper_dataset;
+
+    #[test]
+    fn table_contains_all_rows_and_counts() {
+        let text = render_table1(&paper_dataset());
+        for c in DesignCriterion::ALL {
+            assert!(text.contains(c.label()), "missing row {}", c.label());
+            assert!(
+                text.contains(&format!("({}/95)", c.published_count())),
+                "missing count for {}",
+                c.label()
+            );
+        }
+        for c in AnalysisCriterion::ALL {
+            assert!(text.contains(c.label()));
+        }
+    }
+
+    #[test]
+    fn table_contains_headline_stats() {
+        let text = render_table1(&paper_dataset());
+        assert!(text.contains("39 papers report speedups"));
+        assert!(text.contains("15 (38%) omit"));
+        assert!(text.contains("Unambiguous units: 2/95"));
+        assert!(text.contains("Not applicable: 25/120"));
+    }
+
+    #[test]
+    fn each_row_has_120_cells() {
+        let text = render_table1(&paper_dataset());
+        let row = text
+            .lines()
+            .find(|l| l.starts_with("Processor Model"))
+            .expect("processor row");
+        let cells: usize = row
+            .chars()
+            .skip(30)
+            .take_while(|&c| c != '(')
+            .filter(|&c| c == 'v' || c == '.' || c == ' ')
+            .count();
+        // 120 paper cells + 12 group separators + trailing spaces ≥ 132.
+        assert!(cells >= 132, "only {cells} cell chars");
+        // Count satisfied marks = 79.
+        let marks = row.chars().filter(|&c| c == 'v').count();
+        assert_eq!(marks, 79);
+    }
+
+    #[test]
+    fn header_names_all_groups() {
+        let text = render_table1(&paper_dataset());
+        for needle in ["ConfA11", "ConfB13", "ConfC14"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn score_section_present() {
+        let text = render_table1(&paper_dataset());
+        assert!(text.contains("design-score distributions"));
+        assert!(text.contains("overall mean design score"));
+    }
+
+    #[test]
+    fn markdown_table_has_all_rows_and_counts() {
+        let md = render_table1_markdown(&paper_dataset());
+        assert!(md.starts_with("| Criterion |"));
+        assert!(md.contains("| Processor Model / Accelerator | 79/95 |"));
+        assert!(md.contains("| Code Available Online | 7/95 |"));
+        assert!(md.contains("| Mean | 51/95 |"));
+        assert!(md.contains("| Speedups without base case | 15/39 |"));
+        assert!(md.contains("| Fully unambiguous units | 2/95 |"));
+        assert_eq!(md.lines().count(), 2 + 9 + 4 + 3);
+    }
+}

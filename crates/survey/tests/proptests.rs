@@ -1,0 +1,109 @@
+//! Property-based tests of the survey aggregation logic against
+//! synthetic surveys, plus cross-checks of the embedded dataset.
+
+use proptest::prelude::*;
+
+use scibench_survey::dataset::paper_dataset;
+use scibench_survey::model::{
+    AnalysisCriterion, Conference, DesignCriterion, Grade, PaperRecord, Survey, YEARS,
+};
+use scibench_survey::score::{group_scores, render_mini_box};
+
+fn any_grade() -> impl Strategy<Value = Grade> {
+    prop_oneof![Just(Grade::Satisfied), Just(Grade::Unsatisfied)]
+}
+
+fn any_paper() -> impl Strategy<Value = PaperRecord> {
+    (
+        0usize..3,
+        0usize..4,
+        prop::collection::vec(any_grade(), 9),
+        prop::collection::vec(any_grade(), 4),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(conf, year, design, analysis, speedup, applicable)| PaperRecord {
+                conference: Conference::ALL[conf],
+                year: YEARS[year],
+                index: 0,
+                applicable,
+                design: design.try_into().unwrap(),
+                analysis: analysis.try_into().unwrap(),
+                reports_speedup: speedup,
+                speedup_base_given: !speedup,
+                units_unambiguous: false,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn design_counts_bounded_by_applicable(papers in prop::collection::vec(any_paper(), 1..60)) {
+        let survey = Survey { papers };
+        let applicable = survey.applicable().count();
+        for c in DesignCriterion::ALL {
+            prop_assert!(survey.design_count(c) <= applicable);
+        }
+        for c in AnalysisCriterion::ALL {
+            prop_assert!(survey.analysis_count(c) <= applicable);
+        }
+    }
+
+    #[test]
+    fn group_partition_is_complete(papers in prop::collection::vec(any_paper(), 1..60)) {
+        let survey = Survey { papers };
+        let mut total = 0;
+        for conf in Conference::ALL {
+            for &year in &YEARS {
+                total += survey.group(conf, year).len();
+            }
+        }
+        prop_assert_eq!(total, survey.len());
+    }
+
+    #[test]
+    fn design_scores_bounded(papers in prop::collection::vec(any_paper(), 1..60)) {
+        for p in &papers {
+            prop_assert!(p.design_score() <= 9);
+        }
+        let survey = Survey { papers };
+        for g in group_scores(&survey) {
+            let strip = render_mini_box(&g);
+            prop_assert_eq!(strip.chars().count(), 10);
+            if let Some(b) = g.box_stats {
+                prop_assert!(b.min >= 0.0 && b.max <= 9.0);
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_stats_consistent(papers in prop::collection::vec(any_paper(), 1..60)) {
+        let survey = Survey { papers };
+        let (with, missing) = survey.speedup_stats();
+        prop_assert!(missing <= with);
+        prop_assert!(with <= survey.applicable().count());
+    }
+}
+
+#[test]
+fn embedded_dataset_row_sums_match_columns() {
+    // Cross-check: summing per-group satisfied counts reproduces the
+    // global counts (the aggregation is a partition).
+    let survey = paper_dataset();
+    for c in DesignCriterion::ALL {
+        let mut by_groups = 0;
+        for conf in Conference::ALL {
+            for &year in &YEARS {
+                by_groups += survey
+                    .group(conf, year)
+                    .iter()
+                    .filter(|p| p.applicable && p.design_grade(c) == Grade::Satisfied)
+                    .count();
+            }
+        }
+        assert_eq!(by_groups, c.published_count(), "{c:?}");
+    }
+}

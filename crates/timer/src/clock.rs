@@ -1,0 +1,251 @@
+//! Time sources.
+//!
+//! All timing code in the workspace is written against the [`Clock`] trait
+//! so that the same measurement harness runs on real wall-clock time in
+//! production and on a deterministic [`VirtualClock`] inside the simulator
+//! and the test suite.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// A monotonic nanosecond time source.
+pub trait Clock {
+    /// Current time in nanoseconds since an arbitrary but fixed origin.
+    fn now_ns(&self) -> u64;
+
+    /// Convenience: current time in seconds.
+    fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 * 1e-9
+    }
+}
+
+/// The real wall clock, backed by `std::time::Instant`.
+///
+/// `Instant` is monotonic and on mainstream platforms reads the same
+/// high-resolution counters (e.g. `CLOCK_MONOTONIC` / TSC) that
+/// LibSciBench's assembly timers target.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock with its origin at the time of the call.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A manually advanced deterministic clock.
+///
+/// The simulator advances it as simulated work "executes"; the measurement
+/// harness reads it exactly as it would read a [`WallClock`]. Reads are
+/// exact (no jitter) unless a nonzero `granularity` is configured, which
+/// truncates reads to model a timer with finite resolution.
+#[derive(Debug)]
+pub struct VirtualClock {
+    now_ns: u64,
+    granularity_ns: u64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at t = 0 with perfect (1 ns) resolution.
+    pub fn new() -> Self {
+        Self {
+            now_ns: 0,
+            granularity_ns: 1,
+        }
+    }
+
+    /// Creates a clock whose reads are truncated to multiples of
+    /// `granularity_ns`, modelling a coarse timer.
+    pub fn with_granularity(granularity_ns: u64) -> Self {
+        Self {
+            now_ns: 0,
+            granularity_ns: granularity_ns.max(1),
+        }
+    }
+
+    /// Advances the clock by `delta_ns`.
+    pub fn advance(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+    }
+
+    /// Advances the clock by a floating-point number of seconds
+    /// (negative deltas are ignored; clocks are monotonic).
+    pub fn advance_secs(&mut self, delta_secs: f64) {
+        if delta_secs > 0.0 {
+            self.now_ns += (delta_secs * 1e9).round() as u64;
+        }
+    }
+
+    /// Sets the absolute time; must not move backwards.
+    pub fn set_ns(&mut self, t_ns: u64) {
+        debug_assert!(t_ns >= self.now_ns, "virtual clock must be monotonic");
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+
+    /// The configured read granularity in nanoseconds.
+    pub fn granularity_ns(&self) -> u64 {
+        self.granularity_ns
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        (self.now_ns / self.granularity_ns) * self.granularity_ns
+    }
+}
+
+/// A shareable, thread-safe handle to a [`VirtualClock`].
+///
+/// Cloning shares the underlying clock, which is what a group of simulated
+/// processes on one node observes.
+#[derive(Debug, Clone, Default)]
+pub struct SharedVirtualClock {
+    inner: Arc<Mutex<VirtualClock>>,
+}
+
+impl SharedVirtualClock {
+    /// Creates a shared clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the shared clock.
+    pub fn advance(&self, delta_ns: u64) {
+        self.inner.lock().advance(delta_ns);
+    }
+
+    /// Sets the absolute time (monotonic).
+    pub fn set_ns(&self, t_ns: u64) {
+        self.inner.lock().set_ns(t_ns);
+    }
+}
+
+impl Clock for SharedVirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.inner.lock().now_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_measures_real_time() {
+        let c = WallClock::new();
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let b = c.now_ns();
+        assert!(b - a >= 4_000_000, "elapsed {} ns", b - a);
+    }
+
+    #[test]
+    fn virtual_clock_advances_exactly() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(123);
+        assert_eq!(c.now_ns(), 123);
+        c.advance_secs(1e-6);
+        assert_eq!(c.now_ns(), 1123);
+        assert!((c.now_secs() - 1.123e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn virtual_clock_negative_advance_ignored() {
+        let mut c = VirtualClock::new();
+        c.advance(100);
+        c.advance_secs(-5.0);
+        assert_eq!(c.now_ns(), 100);
+    }
+
+    #[test]
+    fn granularity_truncates_reads() {
+        let mut c = VirtualClock::with_granularity(100);
+        c.advance(250);
+        assert_eq!(c.now_ns(), 200);
+        c.advance(49);
+        assert_eq!(c.now_ns(), 200);
+        c.advance(1);
+        assert_eq!(c.now_ns(), 300);
+        assert_eq!(c.granularity_ns(), 100);
+    }
+
+    #[test]
+    fn zero_granularity_clamped() {
+        let c = VirtualClock::with_granularity(0);
+        assert_eq!(c.granularity_ns(), 1);
+    }
+
+    #[test]
+    fn set_ns_is_monotonic() {
+        let mut c = VirtualClock::new();
+        c.set_ns(500);
+        assert_eq!(c.now_ns(), 500);
+        // Attempting to move backwards keeps the larger value in release
+        // builds (debug builds assert).
+        c.set_ns(500);
+        assert_eq!(c.now_ns(), 500);
+    }
+
+    #[test]
+    fn shared_clock_clones_share_time() {
+        let a = SharedVirtualClock::new();
+        let b = a.clone();
+        a.advance(42);
+        assert_eq!(b.now_ns(), 42);
+        b.advance(8);
+        assert_eq!(a.now_ns(), 50);
+    }
+
+    #[test]
+    fn shared_clock_across_threads() {
+        let clock = SharedVirtualClock::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = clock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(clock.now_ns(), 4000);
+    }
+}

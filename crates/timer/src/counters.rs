@@ -1,0 +1,149 @@
+//! Software event counters — the PAPI substitute.
+//!
+//! LibSciBench "has support for arbitrary PAPI counters"; hardware
+//! counters are unavailable in a portable library, so this module provides
+//! deterministic software counters with the same collection semantics:
+//! named monotonically increasing counts that can be snapshotted around a
+//! measured region and differenced.
+
+use std::collections::BTreeMap;
+
+/// A set of named monotonic event counters.
+///
+/// Counter names are interned on first use; reads of unknown counters
+/// return 0 so that instrumentation can be sprinkled without registration
+/// ceremony.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    counts: BTreeMap<String, u64>,
+}
+
+/// An immutable snapshot of a [`CounterSet`] at one instant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    counts: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counts.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            counts: self.counts.clone(),
+        }
+    }
+
+    /// Names of all counters that have been touched, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.counts.keys().map(String::as_str)
+    }
+}
+
+impl CounterSnapshot {
+    /// Value of counter `name` in this snapshot.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference `later − self`; counters only present in
+    /// `later` count from zero.
+    ///
+    /// Panics in debug builds if `later` is actually earlier (a counter
+    /// decreased), since counters are monotonic.
+    pub fn delta(&self, later: &CounterSnapshot) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (name, &after) in &later.counts {
+            let before = self.get(name);
+            debug_assert!(after >= before, "counter {name} decreased");
+            let d = after.saturating_sub(before);
+            if d > 0 {
+                out.insert(name.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = CounterSet::new();
+        assert_eq!(c.get("flop"), 0);
+    }
+
+    #[test]
+    fn add_and_incr() {
+        let mut c = CounterSet::new();
+        c.add("flop", 100);
+        c.incr("messages");
+        c.incr("messages");
+        assert_eq!(c.get("flop"), 100);
+        assert_eq!(c.get("messages"), 2);
+    }
+
+    #[test]
+    fn snapshot_delta_measures_region() {
+        let mut c = CounterSet::new();
+        c.add("flop", 50);
+        let before = c.snapshot();
+        c.add("flop", 200);
+        c.add("bytes", 4096);
+        let after = c.snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.get("flop"), Some(&200));
+        assert_eq!(d.get("bytes"), Some(&4096));
+        // Untouched counters are omitted from the delta.
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_immutable() {
+        let mut c = CounterSet::new();
+        c.add("x", 1);
+        let snap = c.snapshot();
+        c.add("x", 10);
+        assert_eq!(snap.get("x"), 1);
+        assert_eq!(c.get("x"), 11);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut c = CounterSet::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        c.incr("mid");
+        let names: Vec<&str> = c.names().collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn zero_delta_omitted() {
+        let mut c = CounterSet::new();
+        c.add("idle", 5);
+        let a = c.snapshot();
+        let b = c.snapshot();
+        assert!(a.delta(&b).is_empty());
+    }
+}

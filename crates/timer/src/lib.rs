@@ -1,0 +1,34 @@
+//! Clocks, timers and event counters for scientific benchmarking.
+//!
+//! LibSciBench (the C library accompanying Hoefler & Belli, SC '15) ships
+//! high-resolution timers that report their own resolution and overhead and
+//! warn when measurement perturbance exceeds safe levels (§4.2.1 of the
+//! paper: timer overhead should stay below ~5 % of the measured interval
+//! and the timer's precision should be ~10× finer than the interval).
+//!
+//! This crate is the Rust analogue:
+//!
+//! - [`clock::Clock`] abstracts a nanosecond time source; [`clock::WallClock`]
+//!   wraps `std::time::Instant` and [`clock::VirtualClock`] is a manually
+//!   advanced clock that lets the simulator and the measurement harness
+//!   share one code path,
+//! - [`resolution`] measures timer resolution and per-call overhead and
+//!   audits them against the paper's thresholds,
+//! - [`watch`] provides interval stopwatches and the k-batched
+//!   multi-event measurement of §4.2.1 ("Measuring multiple events"),
+//! - [`counters`] is a deterministic software stand-in for PAPI hardware
+//!   counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod counters;
+pub mod resolution;
+pub mod watch;
+
+pub use clock::{Clock, SharedVirtualClock, VirtualClock, WallClock};
+pub use counters::CounterSet;
+pub use resolution::{audit_timer, TimerAudit, TimerProfile};
+pub use watch::{MultiEventTimer, Stopwatch};

@@ -1,0 +1,241 @@
+//! Timer resolution and overhead measurement (§4.2.1 of the paper).
+//!
+//! "Measuring run times induces overheads for reading the timer, and so
+//! researchers need to ensure that the timer overhead is only a small
+//! fraction (we suggest <5 %) of the measurement interval. Furthermore,
+//! researchers need to ensure that the timer's precision is sufficient to
+//! measure the interval (we suggest 10× higher)."
+//!
+//! [`TimerProfile`] captures a clock's measured resolution and per-call
+//! overhead (like LibSciBench's startup report); [`audit_timer`] applies
+//! the two thresholds to a planned measurement interval.
+
+use crate::clock::Clock;
+
+/// Measured characteristics of a time source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerProfile {
+    /// Smallest nonzero difference observed between consecutive reads, in
+    /// nanoseconds — the effective resolution.
+    pub resolution_ns: f64,
+    /// Average cost of one timer read, in nanoseconds.
+    pub overhead_ns: f64,
+    /// Number of reads used for the calibration.
+    pub samples: usize,
+}
+
+impl TimerProfile {
+    /// Calibrates `clock` with `samples` consecutive reads.
+    ///
+    /// Resolution is the smallest nonzero delta between consecutive reads;
+    /// overhead is the mean delta (each read pays one call).
+    pub fn measure(clock: &impl Clock, samples: usize) -> Self {
+        let samples = samples.max(16);
+        let mut min_delta = u64::MAX;
+        let mut prev = clock.now_ns();
+        let start = prev;
+        let mut nonzero = 0usize;
+        for _ in 0..samples {
+            let t = clock.now_ns();
+            let d = t - prev;
+            if d > 0 {
+                min_delta = min_delta.min(d);
+                nonzero += 1;
+            }
+            prev = t;
+        }
+        let total = prev - start;
+        let resolution_ns = if nonzero == 0 {
+            // Clock never ticked during calibration: resolution is at
+            // least the whole window; report the window as a lower bound.
+            (total.max(1)) as f64
+        } else {
+            min_delta as f64
+        };
+        Self {
+            resolution_ns,
+            overhead_ns: total as f64 / samples as f64,
+            samples,
+        }
+    }
+}
+
+/// Outcome of auditing a timer against a planned measurement interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimerAudit {
+    /// Ratio of timer overhead to the interval (paper threshold: < 0.05).
+    pub overhead_fraction: f64,
+    /// Ratio of interval to resolution (paper threshold: ≥ 10).
+    pub precision_ratio: f64,
+    /// Whether the overhead criterion holds.
+    pub overhead_ok: bool,
+    /// Whether the precision criterion holds.
+    pub precision_ok: bool,
+}
+
+impl TimerAudit {
+    /// Whether both of the paper's criteria hold.
+    pub fn acceptable(&self) -> bool {
+        self.overhead_ok && self.precision_ok
+    }
+
+    /// The minimum interval (ns) this timer can measure acceptably.
+    pub fn minimum_interval_ns(profile: &TimerProfile) -> f64 {
+        let by_overhead = profile.overhead_ns / MAX_OVERHEAD_FRACTION;
+        let by_precision = profile.resolution_ns * MIN_PRECISION_RATIO;
+        by_overhead.max(by_precision)
+    }
+}
+
+/// The paper's suggested maximum overhead fraction (<5 %).
+pub const MAX_OVERHEAD_FRACTION: f64 = 0.05;
+/// The paper's suggested minimum interval/resolution ratio (10×).
+pub const MIN_PRECISION_RATIO: f64 = 10.0;
+
+/// Audits a timer profile against a planned measurement interval.
+pub fn audit_timer(profile: &TimerProfile, interval_ns: f64) -> TimerAudit {
+    let overhead_fraction = if interval_ns > 0.0 {
+        profile.overhead_ns / interval_ns
+    } else {
+        f64::INFINITY
+    };
+    let precision_ratio = if profile.resolution_ns > 0.0 {
+        interval_ns / profile.resolution_ns
+    } else {
+        f64::INFINITY
+    };
+    TimerAudit {
+        overhead_fraction,
+        precision_ratio,
+        overhead_ok: overhead_fraction < MAX_OVERHEAD_FRACTION,
+        precision_ok: precision_ratio >= MIN_PRECISION_RATIO,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{VirtualClock, WallClock};
+    use parking_lot::Mutex;
+
+    /// A clock that ticks a fixed amount per read, for deterministic
+    /// calibration tests.
+    struct TickingClock {
+        inner: Mutex<VirtualClock>,
+        tick_ns: u64,
+    }
+
+    impl TickingClock {
+        fn new(tick_ns: u64, granularity_ns: u64) -> Self {
+            Self {
+                inner: Mutex::new(VirtualClock::with_granularity(granularity_ns)),
+                tick_ns,
+            }
+        }
+    }
+
+    impl Clock for TickingClock {
+        fn now_ns(&self) -> u64 {
+            let mut c = self.inner.lock();
+            c.advance(self.tick_ns);
+            c.now_ns()
+        }
+    }
+
+    #[test]
+    fn profile_of_ticking_clock() {
+        // 7 ns per read, 1 ns granularity → overhead 7 ns, resolution 7 ns.
+        let c = TickingClock::new(7, 1);
+        let p = TimerProfile::measure(&c, 100);
+        assert_eq!(p.resolution_ns, 7.0);
+        assert!((p.overhead_ns - 7.0).abs() < 1e-9);
+        assert_eq!(p.samples, 100);
+    }
+
+    #[test]
+    fn profile_detects_coarse_granularity() {
+        // Reads cost 10 ns but the clock only shows 100 ns steps.
+        let c = TickingClock::new(10, 100);
+        let p = TimerProfile::measure(&c, 1000);
+        assert_eq!(p.resolution_ns, 100.0);
+    }
+
+    #[test]
+    fn audit_thresholds() {
+        let p = TimerProfile {
+            resolution_ns: 10.0,
+            overhead_ns: 20.0,
+            samples: 100,
+        };
+        // Interval 1000 ns: overhead 2% ok, precision 100x ok.
+        let a = audit_timer(&p, 1000.0);
+        assert!(a.acceptable());
+        assert!((a.overhead_fraction - 0.02).abs() < 1e-12);
+        assert!((a.precision_ratio - 100.0).abs() < 1e-12);
+        // Interval 100 ns: overhead 20% fails, precision 10x ok.
+        let a = audit_timer(&p, 100.0);
+        assert!(!a.overhead_ok && a.precision_ok && !a.acceptable());
+        // Interval 50 ns: both fail.
+        let a = audit_timer(&p, 50.0);
+        assert!(!a.overhead_ok && !a.precision_ok);
+    }
+
+    #[test]
+    fn minimum_interval_combines_both_criteria() {
+        let p = TimerProfile {
+            resolution_ns: 10.0,
+            overhead_ns: 20.0,
+            samples: 0,
+        };
+        // overhead: 20/0.05 = 400; precision: 10*10 = 100 → 400.
+        assert_eq!(TimerAudit::minimum_interval_ns(&p), 400.0);
+        let p2 = TimerProfile {
+            resolution_ns: 100.0,
+            overhead_ns: 1.0,
+            samples: 0,
+        };
+        // overhead: 20; precision: 1000 → 1000.
+        assert_eq!(TimerAudit::minimum_interval_ns(&p2), 1000.0);
+    }
+
+    #[test]
+    fn audit_degenerate_interval() {
+        let p = TimerProfile {
+            resolution_ns: 10.0,
+            overhead_ns: 20.0,
+            samples: 0,
+        };
+        let a = audit_timer(&p, 0.0);
+        assert!(!a.acceptable());
+    }
+
+    #[test]
+    fn wall_clock_profile_is_sane() {
+        let c = WallClock::new();
+        let p = TimerProfile::measure(&c, 10_000);
+        // Any real machine: resolution under 1 ms, overhead under 100 µs.
+        assert!(p.resolution_ns > 0.0);
+        assert!(
+            p.resolution_ns < 1_000_000.0,
+            "resolution {}",
+            p.resolution_ns
+        );
+        assert!(p.overhead_ns < 100_000.0, "overhead {}", p.overhead_ns);
+        // A 1-second interval is measurable with any sane wall clock.
+        assert!(audit_timer(&p, 1e9).acceptable());
+    }
+
+    #[test]
+    fn frozen_clock_reports_window_lower_bound() {
+        // A clock that never ticks.
+        struct Frozen;
+        impl Clock for Frozen {
+            fn now_ns(&self) -> u64 {
+                42
+            }
+        }
+        let p = TimerProfile::measure(&Frozen, 100);
+        assert!(p.resolution_ns >= 1.0);
+        assert_eq!(p.overhead_ns, 0.0);
+    }
+}

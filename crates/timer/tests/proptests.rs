@@ -1,0 +1,87 @@
+//! Property-based tests of the clock and counter invariants.
+
+use proptest::prelude::*;
+
+use parking_lot::Mutex;
+use scibench_timer::clock::{Clock, VirtualClock};
+use scibench_timer::counters::CounterSet;
+use scibench_timer::resolution::{audit_timer, TimerProfile};
+use scibench_timer::watch::MultiEventTimer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn virtual_clock_is_monotone_under_any_advances(steps in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let mut c = VirtualClock::new();
+        let mut last = c.now_ns();
+        for s in steps {
+            c.advance(s);
+            let now = c.now_ns();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn granularity_truncation(g in 1u64..10_000, advances in prop::collection::vec(1u64..100_000, 1..50)) {
+        let mut c = VirtualClock::with_granularity(g);
+        let mut exact = 0u64;
+        for a in advances {
+            c.advance(a);
+            exact += a;
+            let read = c.now_ns();
+            prop_assert_eq!(read % g, 0);
+            prop_assert!(read <= exact);
+            prop_assert!(exact - read < g);
+        }
+    }
+
+    #[test]
+    fn multi_event_timer_recovers_exact_cost(cost in 1u64..10_000, k in 1usize..64, blocks in 1usize..10) {
+        let clock = Mutex::new(VirtualClock::new());
+        struct C<'a>(&'a Mutex<VirtualClock>);
+        impl Clock for C<'_> {
+            fn now_ns(&self) -> u64 {
+                self.0.lock().now_ns()
+            }
+        }
+        let timer = MultiEventTimer::new(k);
+        let result = timer.measure(&C(&clock), blocks, || clock.lock().advance(cost));
+        prop_assert_eq!(result.means_ns.len(), blocks);
+        prop_assert_eq!(result.total_events(), k * blocks);
+        for &m in &result.means_ns {
+            prop_assert!((m - cost as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timer_audit_thresholds_are_sharp(overhead in 1.0f64..1e4, resolution in 1.0f64..1e4) {
+        let p = TimerProfile { resolution_ns: resolution, overhead_ns: overhead, samples: 100 };
+        // Just above the minimum acceptable interval: acceptable.
+        let min =
+            (overhead / 0.05).max(resolution * 10.0);
+        prop_assert!(audit_timer(&p, min * 1.01).acceptable());
+        // Well below: not acceptable.
+        prop_assert!(!audit_timer(&p, min * 0.5).acceptable());
+    }
+
+    #[test]
+    fn counter_deltas_match_increments(incs in prop::collection::vec((0usize..3, 1u64..1000), 0..100)) {
+        let names = ["flop", "bytes", "msgs"];
+        let mut c = CounterSet::new();
+        c.add("flop", 5);
+        let before = c.snapshot();
+        let mut expected = [0u64; 3];
+        for (which, amount) in incs {
+            c.add(names[which], amount);
+            expected[which] += amount;
+        }
+        let after = c.snapshot();
+        let delta = before.delta(&after);
+        for (i, name) in names.iter().enumerate() {
+            let got = delta.get(*name).copied().unwrap_or(0);
+            prop_assert_eq!(got, expected[i]);
+        }
+    }
+}

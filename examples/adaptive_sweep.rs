@@ -1,0 +1,63 @@
+//! Adaptive level refinement (§4.2): sweep the message size of a
+//! simulated ping-pong with a limited measurement budget, letting the
+//! SKaMPI-style refinement place measurements where the latency curve
+//! bends (the eager/rendezvous protocol switch).
+//!
+//! Run with: `cargo run --example adaptive_sweep`
+
+use scibench::experiment::adaptive::{refine_levels, RefinementConfig};
+use scibench::plot::ascii::render_series;
+use scibench::plot::series::Series;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+use scibench_stats::quantile::median;
+
+fn main() {
+    let machine = MachineSpec::piz_dora();
+    let mut rng = SimRng::new(3);
+
+    // Response function: median ping-pong latency at a message size.
+    let mut measurements = 0usize;
+    let mut measure = |bytes: f64| {
+        measurements += 1;
+        let mut cfg = PingPongConfig::paper_64b(200);
+        cfg.bytes = bytes.round() as usize;
+        cfg.warmup_iterations = 8;
+        let lat = pingpong_latencies_us(&machine, &cfg, &mut rng);
+        median(&lat[8..]).unwrap()
+    };
+
+    let config = RefinementConfig {
+        min_level: 1.0,
+        max_level: 65_536.0,
+        rel_tolerance: 0.02,
+        budget: 24,
+        min_gap: 16.0,
+    };
+    let result = refine_levels(&config, &mut measure).expect("refinement");
+
+    println!(
+        "adaptive sweep: {} measurements, converged: {}, max interpolation error {:.2}%",
+        result.measured.len(),
+        result.converged,
+        result.max_rel_error * 100.0
+    );
+    println!("\nbytes        median latency [us]");
+    for m in &result.measured {
+        println!("{:<12.0} {:.3}", m.level, m.value);
+    }
+    println!(
+        "\nnote the cluster of levels around the eager threshold ({} B)",
+        machine.network.eager_threshold_bytes
+    );
+
+    let pts: Vec<(f64, f64)> = result
+        .measured
+        .iter()
+        .map(|m| (m.level.log2(), m.value))
+        .collect();
+    let series = Series::from_xy("median latency vs log2(bytes)", &pts, true);
+    println!("{}", render_series(&[&series], 76, 14));
+    let _ = measurements;
+}

@@ -1,0 +1,89 @@
+//! Noise propagation in a bulk-synchronous application (§4.2.1):
+//! "small perturbations in one process can propagate to other processes."
+//!
+//! Runs the same BSP kernel at increasing scale on the Piz Daint model,
+//! showing the efficiency collapse caused purely by per-rank noise, then
+//! uses the Rule 10 machinery (ANOVA + post-hoc tests) to find which
+//! ranks of an imbalanced run actually differ.
+//!
+//! Run with: `cargo run --example bsp_noise`
+
+use scibench::parallel::summarize_across_processes;
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::bsp::{bsp_run, BspConfig};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::rng::SimRng;
+use scibench_stats::htest::pairwise_bonferroni;
+
+fn main() {
+    let machine = MachineSpec::piz_daint();
+
+    // Part 1: noise amplification with scale.
+    println!("BSP kernel, 50 iterations x 1 ms work/rank, Piz Daint model:");
+    println!("p     total[ms]   efficiency   mean wait fraction");
+    let config = BspConfig::balanced(50, 1.0e6);
+    for p in [2usize, 4, 8, 16, 32, 64, 128] {
+        let mut rng = SimRng::new(42).fork_indexed("scale", p as u64);
+        let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Packed, &mut rng);
+        let run = bsp_run(&machine, &alloc, &config, &mut rng);
+        let mean_wait: f64 = (0..p).map(|r| run.wait_fraction(r)).sum::<f64>() / p as f64;
+        println!(
+            "{:<5} {:9.1}   {:9.3}    {:9.3}",
+            p,
+            run.total_ns * 1e-6,
+            run.efficiency(),
+            mean_wait
+        );
+    }
+    println!(
+        "\nThe same noise profile wastes a growing share of every iteration as p\n\
+         grows: each superstep runs at the pace of the slowest rank.\n"
+    );
+
+    // Part 2: per-rank analysis of an imbalanced run (Rule 10 workflow).
+    let p = 16;
+    let reps = 40;
+    let imbalanced = BspConfig {
+        imbalance: 0.25,
+        ..BspConfig::balanced(5, 1.0e6)
+    };
+    let mut per_rank_compute: Vec<Vec<f64>> = (0..p).map(|_| Vec::with_capacity(reps)).collect();
+    let mut rng = SimRng::new(7);
+    let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Packed, &mut rng);
+    for _ in 0..reps {
+        let run = bsp_run(&machine, &alloc, &imbalanced, &mut rng);
+        for (slot, &c) in per_rank_compute.iter_mut().zip(&run.compute_ns) {
+            slot.push(c * 1e-6);
+        }
+    }
+    let analysis = summarize_across_processes(&per_rank_compute, 0.05).unwrap();
+    println!(
+        "imbalanced run (25% linear skew): ANOVA across ranks F = {:.1}, p = {:.2e}",
+        analysis.anova.f, analysis.anova.p_value
+    );
+    println!(
+        "ranks come from one population: {}",
+        if analysis.processes_differ {
+            "NO - investigate per rank"
+        } else {
+            "yes"
+        }
+    );
+
+    // Post-hoc: which rank pairs differ (family-wise alpha 0.05)?
+    let refs: Vec<&[f64]> = per_rank_compute.iter().map(Vec::as_slice).collect();
+    let pairs = pairwise_bonferroni(&refs, 0.05).unwrap();
+    let significant = pairs.iter().filter(|c| c.significant).count();
+    println!(
+        "post-hoc (Bonferroni): {significant} of {} rank pairs differ significantly",
+        pairs.len()
+    );
+    // Extremes always differ under a 25% skew.
+    let extreme = pairs.iter().find(|c| c.i == 0 && c.j == p - 1).unwrap();
+    println!(
+        "rank 0 vs rank {}: t = {:.1}, adjusted p = {:.2e} -> the skew is real",
+        p - 1,
+        extreme.test.statistic,
+        extreme.adjusted_p
+    );
+}

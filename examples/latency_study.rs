@@ -1,0 +1,60 @@
+//! Latency study on the simulated machines: the full Figure 3/4 analysis
+//! workflow on a small sample — densities, CIs, Kruskal-Wallis, effect
+//! size and quantile regression.
+//!
+//! Run with: `cargo run --example latency_study`
+
+use scibench::compare::compare_two;
+use scibench::plot::ascii::render_density;
+use scibench::plot::boxplot::{BoxPlotStats, WhiskerRule};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+use scibench_stats::kde::{kde, Bandwidth};
+
+fn main() {
+    let samples = 50_000;
+    let mut cfg = PingPongConfig::paper_64b(samples);
+    cfg.warmup_iterations = 0;
+
+    let dora = pingpong_latencies_us(&MachineSpec::piz_dora(), &cfg, &mut SimRng::new(1));
+    let pilatus = pingpong_latencies_us(&MachineSpec::pilatus(), &cfg, &mut SimRng::new(2));
+
+    for (name, xs) in [("Piz Dora", &dora), ("Pilatus", &pilatus)] {
+        println!("=== {name} ({} samples, 64 B ping-pong) ===", xs.len());
+        let b = BoxPlotStats::from_samples(name, xs, WhiskerRule::TukeyIqr).unwrap();
+        println!(
+            "min {:.3}  q1 {:.3}  median {:.3}  q3 {:.3}  max {:.3}  mean {:.3}  (us)",
+            b.five_number.min,
+            b.five_number.q1,
+            b.five_number.median,
+            b.five_number.q3,
+            b.five_number.max,
+            b.mean
+        );
+        println!("outliers beyond 1.5 IQR: {}", b.outliers.len());
+        let d = kde(xs, Bandwidth::Silverman, 256).unwrap();
+        println!("{}", render_density(&d, 70, 8));
+    }
+
+    // Rule 7/8: sound comparison including tail quantiles.
+    let cmp = compare_two(
+        "Piz Dora",
+        &dora,
+        "Pilatus",
+        &pilatus,
+        0.95,
+        &[0.1, 0.25, 0.5, 0.75, 0.9, 0.99],
+        42,
+    )
+    .unwrap();
+    println!("{}", cmp.render());
+    println!(
+        "conclusion: {}",
+        if cmp.significant() {
+            "the median difference is statistically significant (Kruskal-Wallis, 95%)"
+        } else {
+            "no significant median difference"
+        }
+    );
+}

@@ -1,0 +1,105 @@
+//! Quickstart: measure an operation with the adaptive harness, summarize
+//! it per the paper's rules, and print an interpretable report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use scibench::experiment::environment::{DocumentationClass, EnvironmentDoc};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::report::ExperimentReport;
+use scibench::rules::RuleAudit;
+use scibench::units::Unit;
+use scibench_timer::clock::WallClock;
+use scibench_timer::resolution::{audit_timer, TimerProfile};
+use scibench_timer::watch::Stopwatch;
+
+/// The "application kernel" we want to benchmark: a small summation.
+fn kernel(n: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        acc = acc.wrapping_add(i.wrapping_mul(2654435761));
+    }
+    acc
+}
+
+fn main() {
+    // 1. Profile the timer first (§4.2.1: overhead < 5%, precision 10x).
+    let clock = WallClock::new();
+    let profile = TimerProfile::measure(&clock, 10_000);
+    println!(
+        "timer: resolution {:.0} ns, overhead {:.1} ns/read",
+        profile.resolution_ns, profile.overhead_ns
+    );
+
+    // 2. Measure with warmup and adaptive stopping: keep sampling until
+    //    the 95% CI of the median is within 1% (§4.2.2).
+    let plan =
+        MeasurementPlan::new("kernel(100k)")
+            .warmup(10)
+            .stopping(StoppingRule::AdaptiveMedianCi {
+                confidence: 0.95,
+                rel_error: 0.01,
+                batch: 50,
+                max_samples: 100_000,
+            });
+    let mut sink = 0u64;
+    let outcome = plan
+        .run(|| {
+            let (elapsed, value) = Stopwatch::time_once(&clock, || kernel(100_000));
+            sink = sink.wrapping_add(value);
+            elapsed as f64
+        })
+        .expect("measurement failed");
+    println!(
+        "collected {} samples (converged: {})",
+        outcome.samples.len(),
+        outcome.converged
+    );
+
+    // Check the timer against the observed interval scale.
+    let typical = outcome.samples[outcome.samples.len() / 2];
+    let audit = audit_timer(&profile, typical);
+    println!(
+        "timer audit at ~{typical:.0} ns intervals: overhead {:.2}%, precision {:.0}x -> {}",
+        audit.overhead_fraction * 100.0,
+        audit.precision_ratio,
+        if audit.acceptable() {
+            "OK"
+        } else {
+            "NOT acceptable"
+        }
+    );
+
+    // 3. Summarize per Rules 5 and 6 (CIs + normality diagnostics).
+    let summary = outcome.summarize(0.95).expect("summary");
+    println!("\n{}", summary.render());
+
+    // 4. Wrap into a report and audit it against the twelve rules.
+    let env = EnvironmentDoc::new()
+        .document(
+            DocumentationClass::Processor,
+            &format!("{} ({})", std::env::consts::ARCH, std::env::consts::OS),
+        )
+        .document(DocumentationClass::Memory, "host RAM (see /proc/meminfo)")
+        .not_applicable(DocumentationClass::Network, "single-process benchmark")
+        .document(
+            DocumentationClass::Compiler,
+            "rustc, opt-level of the current profile",
+        )
+        .document(DocumentationClass::Runtime, "std only")
+        .not_applicable(DocumentationClass::Filesystem, "no I/O")
+        .document(DocumentationClass::Input, "n = 100000 summation")
+        .document(
+            DocumentationClass::MeasurementSetup,
+            "warmup 10, adaptive stop at 1% median CI",
+        )
+        .document(
+            DocumentationClass::CodeAvailability,
+            "examples/quickstart.rs",
+        );
+    let report = ExperimentReport::new("quickstart kernel study")
+        .environment(env)
+        .entry(summary, Unit::Seconds)
+        .plot("latency summary", "boxplot", None);
+    println!("{}", RuleAudit::check(&report).render());
+    let _ = sink;
+}

@@ -1,0 +1,85 @@
+//! The twelve rules as an executable checklist: builds a deliberately
+//! sloppy report (the "state of the practice" from the paper's survey)
+//! and a compliant one, and audits both.
+//!
+//! Run with: `cargo run --example rules_audit`
+
+use scibench::compare::compare_two;
+use scibench::experiment::environment::{DocumentationClass, EnvironmentDoc};
+use scibench::experiment::measurement::MeasurementOutcome;
+use scibench::parallel::CrossProcessSummary;
+use scibench::report::{ExperimentReport, ParallelMethodology};
+use scibench::rules::{Rule, RuleAudit};
+use scibench::units::Unit;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+
+fn latencies(machine: &MachineSpec, seed: u64) -> Vec<f64> {
+    let mut cfg = PingPongConfig::paper_64b(5_000);
+    cfg.warmup_iterations = 0;
+    pingpong_latencies_us(machine, &cfg, &mut SimRng::new(seed))
+}
+
+fn summarize(xs: &[f64], name: &str) -> scibench::experiment::measurement::MeasurementSummary {
+    MeasurementOutcome {
+        name: name.into(),
+        warmup_samples: vec![],
+        samples: xs.to_vec(),
+        converged: true,
+    }
+    .summarize(0.95)
+    .unwrap()
+}
+
+fn main() {
+    println!("The twelve rules:\n");
+    for rule in Rule::ALL {
+        println!("{rule}\n");
+    }
+
+    let dora = latencies(&MachineSpec::piz_dora(), 1);
+    let pilatus = latencies(&MachineSpec::pilatus(), 2);
+
+    // --- The sloppy report: "we ran it and it was 2x faster". ---
+    let mut sloppy = ExperimentReport::new("typical surveyed paper")
+        .entry(summarize(&dora, "latency"), Unit::Seconds);
+    // Strip the CIs, as most surveyed papers do.
+    sloppy.entries[0].summary.median_ci = None;
+    sloppy.entries[0].summary.mean_ci = None;
+    sloppy.ratio_geomean_used = true; // unexplained geometric mean
+    println!("=== audit: sloppy report ===");
+    let audit = RuleAudit::check(&sloppy);
+    println!("{}", audit.render());
+    println!("passes: {}\n", audit.passed());
+
+    // --- The compliant report. ---
+    let cmp = compare_two("Piz Dora", &dora, "Pilatus", &pilatus, 0.95, &[0.5, 0.9], 3).unwrap();
+    let env = EnvironmentDoc::from_machine(&MachineSpec::piz_dora())
+        .document(
+            DocumentationClass::Input,
+            "64 B ping-pong between two nodes",
+        )
+        .document(
+            DocumentationClass::MeasurementSetup,
+            "5000 samples, warmup discarded",
+        )
+        .document(DocumentationClass::CodeAvailability, "this repository")
+        .not_applicable(DocumentationClass::Filesystem, "no I/O");
+    let compliant = ExperimentReport::new("interpretable latency report")
+        .environment(env)
+        .entry(summarize(&dora, "latency (Piz Dora)"), Unit::Seconds)
+        .comparison(cmp)
+        .bound(scibench::bounds::ScalingBound::IdealLinear)
+        .parallel(ParallelMethodology {
+            processes: 2,
+            synchronization: "window-based delay scheme".into(),
+            summarization: CrossProcessSummary::Max,
+            anova_checked: true,
+        })
+        .plot("latency density", "density", None);
+    println!("=== audit: compliant report ===");
+    let audit = RuleAudit::check(&compliant);
+    println!("{}", audit.render());
+    println!("passes: {}", audit.passed());
+}

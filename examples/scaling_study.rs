@@ -1,0 +1,64 @@
+//! Scaling study with bounds models (Rule 11): the Figure 7 workflow —
+//! measure the pi workload at 1..=32 processes, compare against ideal /
+//! Amdahl / parallel-overhead bounds, and report speedups with their
+//! base case (Rule 1).
+//!
+//! Run with: `cargo run --example scaling_study`
+
+use scibench::bounds::{OverheadModel, ScalingBound};
+use scibench::plot::ascii::render_series;
+use scibench::plot::series::Series;
+use scibench::speedup::{BaseCase, Speedup};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pi::{pi_scaling_study, PiConfig};
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci::mean_ci;
+
+fn main() {
+    let machine = MachineSpec::piz_daint();
+    let config = PiConfig::paper_figure7();
+    let counts: Vec<usize> = (1..=32).collect();
+    let mut rng = SimRng::new(7);
+    let data = pi_scaling_study(&machine, &config, &counts, 10, &mut rng);
+
+    let base = mean_ci(&data[0], 0.95).unwrap().estimate;
+    let bounds = [
+        ScalingBound::IdealLinear,
+        ScalingBound::Amdahl {
+            serial_fraction: config.serial_fraction,
+        },
+        ScalingBound::ParallelOverhead {
+            serial_fraction: config.serial_fraction,
+            overhead: OverheadModel::paper_pi_reduction(),
+        },
+    ];
+
+    println!(
+        "p    time[ms]   speedup (vs single parallel process at {:.2} ms)",
+        base * 1e3
+    );
+    let mut measured_pts = Vec::new();
+    for (i, &p) in counts.iter().enumerate() {
+        let ci = mean_ci(&data[i], 0.95).unwrap();
+        let s = Speedup::from_times(base, ci.estimate, BaseCase::SingleParallelProcess);
+        measured_pts.push((p as f64, s.factor()));
+        if p.is_power_of_two() {
+            println!("{:<4} {:9.3}  {}", p, ci.estimate * 1e3, s);
+        }
+    }
+
+    let mut series = vec![Series::from_xy("Measurement Result", &measured_pts, true)];
+    for b in &bounds {
+        let pts: Vec<(f64, f64)> = counts
+            .iter()
+            .map(|&p| (p as f64, b.speedup_bound(config.base_time_s, p)))
+            .collect();
+        series.push(Series::from_xy(b.label(), &pts, true));
+    }
+    let refs: Vec<&Series> = series.iter().collect();
+    println!("\nspeedup vs bounds:\n{}", render_series(&refs, 76, 18));
+    println!(
+        "Rule 11: the parallel-overheads bound explains nearly all observed scaling;\n\
+         super-linear claims would be immediately visible above the ideal line."
+    );
+}

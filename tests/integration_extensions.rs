@@ -1,0 +1,196 @@
+//! Integration tests of the extension features working together: the
+//! campaign orchestrator, adaptive level refinement, scaling-study
+//! declarations, power analysis, the BSP application model and the
+//! microbenchmark-fitted cost model.
+
+use scibench::bounds::LinearCostModel;
+use scibench::experiment::adaptive::{refine_levels, RefinementConfig};
+use scibench::experiment::campaign::{run_campaign, CampaignConfig};
+use scibench::experiment::design::{Design, Factor};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::experiment::scaling::{ScalingStudy, WeakScalingFn};
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::bsp::{bsp_run, BspConfig};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_ns, PingPongConfig};
+use scibench_sim::rng::SimRng;
+use scibench_stats::htest::cohens_d;
+use scibench_stats::power::{power_two_sample, required_samples_two_sample};
+use scibench_stats::quantile::median;
+
+#[test]
+fn campaign_over_simulated_systems_finds_the_factor_effects() {
+    // Factorial campaign: system x message size, measured adaptively,
+    // executed on 4 threads, deterministic.
+    let design = Design::new(vec![
+        Factor::new("system", &["dora", "pilatus"]),
+        Factor::numeric("bytes", &[64.0, 4096.0]),
+    ]);
+    let plan =
+        MeasurementPlan::new("pingpong")
+            .warmup(4)
+            .stopping(StoppingRule::AdaptiveMedianCi {
+                confidence: 0.95,
+                rel_error: 0.02,
+                batch: 100,
+                max_samples: 20_000,
+            });
+    let dora = MachineSpec::piz_dora();
+    let pilatus = MachineSpec::pilatus();
+    let result = run_campaign(
+        &design,
+        &plan,
+        &CampaignConfig {
+            seed: 11,
+            threads: 4,
+        },
+        |point, rng| {
+            let machine = if point.level(0) == "dora" {
+                &dora
+            } else {
+                &pilatus
+            };
+            let mut cfg = PingPongConfig::paper_64b(1);
+            cfg.bytes = point.level(1).parse::<f64>().unwrap() as usize;
+            cfg.warmup_iterations = 0;
+            pingpong_latencies_ns(machine, &cfg, rng)[0]
+        },
+    )
+    .unwrap();
+    assert!(result.unconverged().is_empty());
+    let summaries = result.summaries(0.95).unwrap();
+    assert_eq!(summaries.len(), 4);
+    // Bigger messages slower on both systems.
+    let med = |sys: &str, bytes: &str| {
+        summaries
+            .iter()
+            .find(|(p, _)| p.level(0) == sys && p.level(1) == bytes)
+            .map(|(_, s)| s.five_number.median)
+            .unwrap()
+    };
+    assert!(med("dora", "4096") > med("dora", "64"));
+    assert!(med("pilatus", "4096") > med("pilatus", "64"));
+}
+
+#[test]
+fn adaptive_refinement_finds_the_rendezvous_step() {
+    // Sweep message sizes on Piz Dora; the eager->rendezvous switch at
+    // 8 KiB must attract refinement levels.
+    let machine = MachineSpec::piz_dora();
+    let mut rng = SimRng::new(5);
+    let mut measure = |bytes: f64| {
+        let mut cfg = PingPongConfig::paper_64b(100);
+        cfg.bytes = bytes.round() as usize;
+        cfg.warmup_iterations = 0;
+        let lat = pingpong_latencies_ns(&machine, &cfg, &mut rng);
+        median(&lat).unwrap()
+    };
+    let config = RefinementConfig {
+        min_level: 64.0,
+        max_level: 32_768.0,
+        rel_tolerance: 0.02,
+        budget: 20,
+        min_gap: 64.0,
+    };
+    let r = refine_levels(&config, &mut measure).unwrap();
+    let threshold = machine.network.eager_threshold_bytes as f64;
+    let near = r
+        .measured
+        .iter()
+        .filter(|m| (m.level - threshold).abs() < 4096.0)
+        .count();
+    assert!(near >= 3, "only {near} levels near the protocol switch");
+    // The fitted response jumps across the threshold.
+    let below = r.interpolate(threshold * 0.9).unwrap();
+    let above = r.interpolate(threshold * 1.1).unwrap();
+    assert!(above > below + 1000.0, "{below} vs {above}");
+}
+
+#[test]
+fn scaling_declarations_back_the_pi_study() {
+    // The Figure 7 pi study is a strong-scaling study; the weak variant
+    // keeps work per process constant.
+    let strong = ScalingStudy::strong(20e-3, (1..=32).collect());
+    assert_eq!(strong.problem_size_at(32), Some(20e-3));
+    let weak = ScalingStudy::weak(20e-3, vec![1, 2, 4, 8], WeakScalingFn::Linear);
+    for p in [1usize, 2, 4, 8] {
+        assert_eq!(weak.work_per_process_at(p), Some(20e-3));
+    }
+    assert!(strong.describe().contains("strong"));
+    assert!(weak.describe().contains("weak"));
+}
+
+#[test]
+fn power_analysis_plans_a_detectable_comparison() {
+    // Plan: how many ping-pong samples to tell Dora and Pilatus apart?
+    let dora = MachineSpec::piz_dora();
+    let pilatus = MachineSpec::pilatus();
+    let draw = |machine: &MachineSpec, n: usize, seed: u64| {
+        let mut cfg = PingPongConfig::paper_64b(n);
+        cfg.warmup_iterations = 0;
+        pingpong_latencies_ns(machine, &cfg, &mut SimRng::new(seed))
+    };
+    // Pilot to estimate the effect size.
+    let pilot_a = draw(&dora, 500, 1);
+    let pilot_b = draw(&pilatus, 500, 2);
+    let d = cohens_d(&pilot_b, &pilot_a).unwrap();
+    assert!(d.abs() > 0.05, "systems too similar for this test: d = {d}");
+    let n = required_samples_two_sample(d, 0.05, 0.9).unwrap();
+    // The plan must be achievable and the planned n actually powered.
+    assert!(n < 100_000, "n = {n}");
+    let achieved = power_two_sample(n, d, 0.05).unwrap();
+    assert!(achieved >= 0.89, "power {achieved}");
+}
+
+#[test]
+fn bsp_efficiency_decreases_with_scale_and_noise() {
+    let machine = MachineSpec::piz_daint();
+    let config = BspConfig::balanced(20, 1e6);
+    let eff = |p: usize| {
+        let mut rng = SimRng::new(3).fork_indexed("bsp", p as u64);
+        let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Packed, &mut rng);
+        bsp_run(&machine, &alloc, &config, &mut rng).efficiency()
+    };
+    let e4 = eff(4);
+    let e64 = eff(64);
+    assert!(e4 > e64, "{e4} vs {e64}");
+    assert!(e64 > 0.5, "unreasonably low efficiency {e64}");
+
+    // Quiet machine: efficiency stays high at any scale.
+    let quiet = MachineSpec::test_machine(64);
+    let mut rng = SimRng::new(4);
+    let alloc = Allocation::one_rank_per_node(&quiet, 64, AllocationPolicy::Packed, &mut rng);
+    let run = bsp_run(&quiet, &alloc, &config, &mut rng);
+    assert!(
+        run.efficiency() > 0.95,
+        "quiet efficiency {}",
+        run.efficiency()
+    );
+}
+
+#[test]
+fn microbenchmarks_parametrize_the_capability_vector() {
+    // The §5.1 workflow end to end: measure, fit T(n) = L + n/B, build
+    // the capability vector, locate the bottleneck of a workload.
+    let machine = MachineSpec::piz_dora();
+    let mut rng = SimRng::new(9);
+    let mut sizes = Vec::new();
+    let mut times = Vec::new();
+    for bytes in [128usize, 512, 1024, 2048, 4096, 8192] {
+        let mut cfg = PingPongConfig::paper_64b(200);
+        cfg.bytes = bytes;
+        cfg.warmup_iterations = 0;
+        let lat = pingpong_latencies_ns(&machine, &cfg, &mut rng);
+        sizes.push(bytes as f64);
+        times.push(median(&lat).unwrap());
+    }
+    let model = LinearCostModel::fit(&sizes, &times).unwrap();
+    assert!(model.r_squared > 0.98, "R2 = {}", model.r_squared);
+    let cap = model.capability_vector().unwrap();
+    // A bandwidth-saturating workload should show bandwidth as the
+    // bottleneck.
+    let bw = model.bandwidth().unwrap();
+    let achieved = [0.1 / model.latency, 0.9 * bw];
+    let (_, name) = cap.bottleneck(&achieved);
+    assert_eq!(name, "bandwidth");
+}

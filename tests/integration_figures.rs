@@ -1,0 +1,180 @@
+//! Integration tests asserting the *shape* of every regenerated paper
+//! artifact: who wins, by roughly what factor, where crossovers fall.
+//! Sample counts are reduced for test speed; the binaries use paper-scale
+//! counts.
+
+use scibench_bench::figures::*;
+
+#[test]
+fn figure1_hpl_distribution_shape() {
+    let f = fig1_hpl::compute(50, 0x5C15).unwrap();
+    // The paper's headline numbers: best 77.38 Tflop/s at 94.5 peak
+    // (81.9% efficiency), slowest ~61 Tflop/s, ~20% spread.
+    let best = f.tflops_at(f.min_s);
+    let worst = f.tflops_at(f.max_s);
+    assert!((70.0..80.0).contains(&best), "best {best}");
+    assert!((50.0..75.0).contains(&worst), "worst {worst}");
+    assert!(best / worst > 1.05, "spread {best}/{worst}");
+    // Right-skewed completion times: mean above median.
+    assert!(f.mean_s > f.median_s * 0.99);
+    // Median CI available at n = 50.
+    assert!(f.median_ci_s.is_some());
+}
+
+#[test]
+fn table1_reproduces_every_published_aggregate() {
+    let t = table1::compute();
+    let text = t.render();
+    // All nine design counts and four analysis counts, verbatim.
+    for count in [
+        "(79/95)", "(26/95)", "(60/95)", "(35/95)", "(20/95)", "(12/95)", "(48/95)", "(30/95)",
+        "(7/95)", "(51/95)", "(13/95)", "(9/95)", "(17/95)",
+    ] {
+        assert!(text.contains(count), "missing aggregate {count}");
+    }
+    assert!(text.contains("39 papers report speedups"));
+    assert!(text.contains("Unambiguous units: 2/95"));
+}
+
+#[test]
+fn figure2_normalization_pipeline() {
+    let f = fig2_normalization::compute(100_000, 0x5C15).unwrap();
+    let straightness: Vec<f64> = f.panels.iter().map(|p| p.qq.straightness()).collect();
+    // Original is the least straight; K=1000 among the straightest.
+    assert!(straightness[0] < straightness[1]);
+    assert!(straightness[0] < straightness[3]);
+    assert!(f.panels[0].shapiro.rejects_normality(0.01));
+    assert!(!f.panels[3].shapiro.rejects_normality(0.01));
+}
+
+#[test]
+fn figure3_medians_differ_significantly() {
+    let f = fig3_significance::compute(50_000, 0x5C15).unwrap();
+    assert!(f.comparison.significant());
+    // Pilatus has the lower min and the heavier tail; means differ by
+    // roughly the paper's 0.1 us.
+    assert!(f.pilatus.min < f.dora.min);
+    assert!(f.pilatus.max > f.dora.max);
+    let diff = f.comparison.mean_ci_b.estimate - f.comparison.mean_ci_a.estimate;
+    assert!((0.02..0.3).contains(&diff), "mean diff {diff}");
+    // Paper's min values: 1.57 (Dora) and 1.48 (Pilatus) us; ours within
+    // 10%.
+    assert!((f.dora.min - 1.57).abs() < 0.16, "dora min {}", f.dora.min);
+    assert!(
+        (f.pilatus.min - 1.48).abs() < 0.15,
+        "pilatus min {}",
+        f.pilatus.min
+    );
+}
+
+#[test]
+fn figure4_quantile_crossover() {
+    let f = fig4_quantreg::compute(50_000, 0x5C15).unwrap();
+    // Low quantiles favour Pilatus, high quantiles favour Dora; the
+    // mean difference alone (a single positive number) hides this.
+    assert!(f.effects.first().unwrap().difference.estimate < 0.0);
+    assert!(f.effects.last().unwrap().difference.estimate > 0.0);
+    assert!(f.mean_difference > 0.0);
+    let tau = f.crossover_tau().expect("crossover");
+    assert!((0.1..0.9).contains(&tau), "crossover at {tau}");
+    // Intercept (Dora latency) grows monotonically in the quantile.
+    for w in f.effects.windows(2) {
+        assert!(w[1].intercept.estimate >= w[0].intercept.estimate);
+    }
+}
+
+#[test]
+fn figure5_power_of_two_effect() {
+    let f = fig5_reduce::compute(100, 0x5C15).unwrap();
+    // Every power of two in 4..=32 beats its successor p+1.
+    for &p in &[4usize, 8, 16, 32] {
+        let median = |q: usize| {
+            f.points
+                .iter()
+                .find(|pt| pt.p == q)
+                .map(|pt| pt.summary.median)
+                .unwrap()
+        };
+        assert!(median(p) < median(p + 1), "p={p}");
+    }
+    // Scaling is logarithmic-ish: 64 procs cost far less than 32x the
+    // 2-proc time.
+    let m2 = f.points.first().unwrap().summary.median;
+    let m64 = f.points.last().unwrap().summary.median;
+    assert!(m64 < m2 * 16.0, "{m2} vs {m64}");
+    assert!(m64 > m2 * 1.5);
+}
+
+#[test]
+fn figure6_process_variation() {
+    let f = fig6_variation::compute(64, 150, 0x5C15).unwrap();
+    // The ANOVA across ranks is decisive.
+    assert!(f.analysis.processes_differ);
+    assert!(f.analysis.anova.p_value < 1e-6);
+    // Root (rank 0) slowest, some leaf much faster.
+    let med0 = f.boxes[0].five_number.median;
+    let fastest = f
+        .boxes
+        .iter()
+        .map(|b| b.five_number.median)
+        .fold(f64::INFINITY, f64::min);
+    assert!(med0 > fastest * 2.0, "root {med0} vs fastest {fastest}");
+}
+
+#[test]
+fn figure7ab_bounds_hierarchy() {
+    let f = fig7ab_bounds::compute(10, 0x5C15).unwrap();
+    assert!(f.cis_within_5pct, "caption criterion violated");
+    // Bounds order: ideal <= amdahl <= parallel-overhead <= measured.
+    for m in &f.measured {
+        let ideal = f.bounds[0].time_bound_s(f.bound_base_s, m.p);
+        let amdahl = f.bounds[1].time_bound_s(f.bound_base_s, m.p);
+        let parovh = f.bounds[2].time_bound_s(f.bound_base_s, m.p);
+        assert!(ideal <= amdahl + 1e-12);
+        assert!(amdahl <= parovh + 1e-12);
+        assert!(m.time_ci.estimate >= parovh * 0.999, "p = {}", m.p);
+    }
+    // "The parallel overhead bounds model explains nearly all the scaling
+    // observed": within 10% at every p.
+    for m in &f.measured {
+        let parovh = f.bounds[2].time_bound_s(f.bound_base_s, m.p);
+        let gap = (m.time_ci.estimate - parovh) / m.time_ci.estimate;
+        assert!(gap < 0.10, "p = {}: unexplained gap {gap}", m.p);
+    }
+}
+
+#[test]
+fn figure7c_plot_statistics() {
+    let f = fig7c_plots::compute(50_000, 0x5C15).unwrap();
+    let b = &f.boxplot;
+    assert!(b.five_number.q1 < b.five_number.median);
+    assert!(b.five_number.median < b.five_number.q3);
+    assert!(
+        !b.outliers.is_empty(),
+        "latency tails must produce IQR outliers"
+    );
+    // Violin carries both means; arithmetic >= geometric.
+    assert!(f.violin.geometric_mean.unwrap() <= f.violin.mean);
+    // Median CI well inside the IQR.
+    assert!(f.median_ci.lower >= b.five_number.q1);
+    assert!(f.median_ci.upper <= b.five_number.q3);
+}
+
+#[test]
+fn means_example_matches_paper() {
+    let e = means_example::compute().unwrap();
+    assert_eq!(e.mean_time_s, 50.0);
+    assert_eq!(e.correct_rate, 2.0);
+    assert!((e.misleading_arith_rate - 4.5).abs() < 1e-12);
+    assert!((e.misleading_geo_rate - 2.9).abs() < 0.05);
+}
+
+#[test]
+fn figures_are_reproducible_bit_for_bit() {
+    let a = fig1_hpl::compute(20, 7).unwrap();
+    let b = fig1_hpl::compute(20, 7).unwrap();
+    assert_eq!(a.times_s, b.times_s);
+    let a = fig5_reduce::compute(10, 7).unwrap();
+    let b = fig5_reduce::compute(10, 7).unwrap();
+    assert_eq!(a.points[0].completion_us, b.points[0].completion_us);
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration: simulate a benchmark on the machine model,
+//! measure it through the LibSciBench-style harness, summarize, build a
+//! report and audit it against the twelve rules.
+
+use scibench::compare::compare_two;
+use scibench::experiment::design::{Design, Factor};
+use scibench::experiment::environment::{DocumentationClass, EnvironmentDoc};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::parallel::CrossProcessSummary;
+use scibench::report::{ExperimentReport, ParallelMethodology};
+use scibench::rules::{Rule, RuleAudit, Verdict};
+use scibench::speedup::{BaseCase, Speedup};
+use scibench::units::Unit;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::pingpong::{pingpong_latencies_us, PingPongConfig};
+use scibench_sim::rng::SimRng;
+
+/// Measures simulated ping-pong latencies through the adaptive harness.
+fn measure_pingpong(machine: &MachineSpec, seed: u64) -> Vec<f64> {
+    let mut cfg = PingPongConfig::paper_64b(1);
+    cfg.warmup_iterations = 0;
+    let mut rng = SimRng::new(seed);
+    // One sample per call so the harness sees a stream of single events
+    // (the paper's recommendation in §4.2.1).
+    let mut draw = move || pingpong_latencies_us(machine, &cfg, &mut rng)[0];
+    let plan =
+        MeasurementPlan::new("pingpong-64B")
+            .warmup(16)
+            .stopping(StoppingRule::AdaptiveMedianCi {
+                confidence: 0.95,
+                rel_error: 0.01,
+                batch: 200,
+                max_samples: 50_000,
+            });
+    let outcome = plan.run(&mut draw).expect("measurement");
+    assert!(outcome.converged, "adaptive stopping should converge");
+    outcome.samples
+}
+
+#[test]
+fn full_pipeline_produces_rule_compliant_report() {
+    let dora = MachineSpec::piz_dora();
+    let pilatus = MachineSpec::pilatus();
+
+    let dora_samples = measure_pingpong(&dora, 11);
+    let pilatus_samples = measure_pingpong(&pilatus, 22);
+
+    // Summaries through the harness.
+    let outcome = scibench::experiment::measurement::MeasurementOutcome {
+        name: "pingpong-64B (Piz Dora)".into(),
+        warmup_samples: vec![],
+        samples: dora_samples.clone(),
+        converged: true,
+    };
+    let summary = outcome.summarize(0.95).expect("summary");
+    assert!(!summary.deterministic);
+    assert!(summary.median_ci.is_some());
+    // Latency data is skewed: the normality check must reject and the
+    // mean CI must be flagged unusable (Rule 6 in action).
+    assert!(
+        !summary.mean_ci_valid,
+        "skewed latencies must fail the normality gate"
+    );
+
+    let comparison = compare_two(
+        "Piz Dora",
+        &dora_samples,
+        "Pilatus",
+        &pilatus_samples,
+        0.95,
+        &[0.1, 0.5, 0.9],
+        99,
+    )
+    .expect("comparison");
+
+    let env = EnvironmentDoc::from_machine(&dora)
+        .document(
+            DocumentationClass::Input,
+            "64 B ping-pong, 2 processes on distinct nodes",
+        )
+        .document(
+            DocumentationClass::MeasurementSetup,
+            "window-synchronized, warmup 16 iterations dropped, adaptive stop at 1% median CI",
+        )
+        .document(DocumentationClass::CodeAvailability, "this repository")
+        .not_applicable(DocumentationClass::Filesystem, "no I/O in the benchmark");
+
+    let report = ExperimentReport::new("ping-pong latency study")
+        .environment(env)
+        .entry(summary, Unit::Seconds)
+        .speedup(Speedup::from_times(
+            comparison.median_ci_b.estimate,
+            comparison.median_ci_a.estimate,
+            BaseCase::OtherSystem,
+        ))
+        .comparison(comparison)
+        .bound(scibench::bounds::ScalingBound::IdealLinear)
+        .parallel(ParallelMethodology {
+            processes: 2,
+            synchronization: "window-based delay scheme (par. 4.2.1)".into(),
+            summarization: CrossProcessSummary::Max,
+            anova_checked: true,
+        })
+        .plot("latency density", "density", None);
+
+    let audit = RuleAudit::check(&report);
+    assert!(audit.passed(), "audit failed:\n{}", audit.render());
+    // Every rule got a verdict.
+    assert_eq!(audit.findings.len(), 12);
+    // Rule 8 passes because quantile effects were examined.
+    let r8 = audit
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::R8RightStatistic)
+        .unwrap();
+    assert_eq!(r8.verdict, Verdict::Pass);
+
+    // The rendered report contains all major sections.
+    let text = report.render();
+    for needle in ["Rule 9", "Rule 10", "CI(median)", "Kruskal-Wallis", "q90"] {
+        assert!(text.contains(needle), "report missing {needle}");
+    }
+}
+
+#[test]
+fn factorial_design_drives_simulated_campaign() {
+    // Two factors: system x message size; full factorial, randomized
+    // order, measured end-to-end.
+    let design = Design::new(vec![
+        Factor::new("system", &["dora", "pilatus"]),
+        Factor::numeric("bytes", &[8.0, 64.0, 512.0]),
+    ]);
+    let runs = design.randomized_order(2, 7);
+    assert_eq!(runs.len(), 12);
+
+    let mut medians = std::collections::BTreeMap::new();
+    for point in &runs {
+        let machine = match point.level(0) {
+            "dora" => MachineSpec::piz_dora(),
+            _ => MachineSpec::pilatus(),
+        };
+        let bytes: f64 = point.level(1).parse().unwrap();
+        let mut cfg = PingPongConfig::paper_64b(300);
+        cfg.bytes = bytes as usize;
+        cfg.warmup_iterations = 0;
+        let mut rng = SimRng::new(1234).fork(&format!("{}-{}", point.level(0), bytes));
+        let lat = pingpong_latencies_us(&machine, &cfg, &mut rng);
+        let med = scibench_stats::quantile::median(&lat).unwrap();
+        medians
+            .entry((point.level(0).to_owned(), bytes as usize))
+            .or_insert(med);
+    }
+
+    // Larger messages are slower on both systems.
+    for sys in ["dora", "pilatus"] {
+        let m8 = medians[&(sys.to_owned(), 8)];
+        let m512 = medians[&(sys.to_owned(), 512)];
+        assert!(m512 > m8, "{sys}: {m512} vs {m8}");
+    }
+}
+
+#[test]
+fn timer_audit_gates_short_intervals() {
+    // The timer substrate and the paper's 4.2.1 thresholds, end to end.
+    use scibench_timer::clock::WallClock;
+    use scibench_timer::resolution::{audit_timer, TimerProfile};
+
+    let clock = WallClock::new();
+    let profile = TimerProfile::measure(&clock, 10_000);
+    // A 1 ms interval is fine on any real machine.
+    assert!(audit_timer(&profile, 1_000_000.0).acceptable());
+    // A sub-overhead interval cannot be fine.
+    let too_short = profile.overhead_ns.max(profile.resolution_ns) * 0.5;
+    if too_short > 0.0 {
+        assert!(!audit_timer(&profile, too_short).acceptable());
+    }
+}
+
+#[test]
+fn deterministic_workload_reports_deterministically() {
+    // A quiet machine produces deterministic measurements; Rule 5 says
+    // the report must flag that.
+    let machine = MachineSpec::test_machine(4);
+    let mut cfg = PingPongConfig::paper_64b(100);
+    cfg.node_b = 1;
+    cfg.warmup_iterations = 0;
+    let mut rng = SimRng::new(5);
+    let latencies = pingpong_latencies_us(&machine, &cfg, &mut rng);
+    let outcome = scibench::experiment::measurement::MeasurementOutcome {
+        name: "quiet-pingpong".into(),
+        warmup_samples: vec![],
+        samples: latencies,
+        converged: true,
+    };
+    let summary = outcome.summarize(0.95).unwrap();
+    assert!(summary.deterministic);
+    assert!(summary.render().contains("[deterministic]"));
+}

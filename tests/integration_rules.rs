@@ -1,0 +1,199 @@
+//! Integration tests of the rule auditor against deliberately flawed
+//! reports — each of the paper's "twelve ways to fool the masses"
+//! anti-patterns must be caught.
+
+use scibench::bounds::ScalingBound;
+use scibench::compare::compare_two;
+use scibench::experiment::environment::{DocumentationClass, EnvironmentDoc};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::parallel::CrossProcessSummary;
+use scibench::report::{ExperimentReport, ParallelMethodology};
+use scibench::rules::{Rule, RuleAudit, Verdict};
+use scibench::speedup::{BaseCase, Speedup};
+use scibench::units::Unit;
+
+fn noisy_sample(n: usize, mu: f64, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            mu + ((state >> 33) % 1000) as f64 / 5000.0
+        })
+        .collect()
+}
+
+fn full_env() -> EnvironmentDoc {
+    let mut env = EnvironmentDoc::new();
+    for c in DocumentationClass::ALL {
+        env = env.document(c, "described in detail");
+    }
+    env
+}
+
+fn summary_of(xs: &[f64], name: &str) -> scibench::experiment::measurement::MeasurementSummary {
+    scibench::experiment::measurement::MeasurementOutcome {
+        name: name.into(),
+        warmup_samples: vec![],
+        samples: xs.to_vec(),
+        converged: true,
+    }
+    .summarize(0.95)
+    .unwrap()
+}
+
+fn compliant_report() -> ExperimentReport {
+    let a = noisy_sample(400, 1.7, 3);
+    let b = noisy_sample(400, 1.8, 4);
+    ExperimentReport::new("compliant")
+        .environment(full_env())
+        .entry(summary_of(&a, "latency"), Unit::Seconds)
+        .speedup(Speedup::from_times(1.8, 1.7, BaseCase::OtherSystem))
+        .comparison(compare_two("a", &a, "b", &b, 0.95, &[0.5, 0.99], 1).unwrap())
+        .bound(ScalingBound::IdealLinear)
+        .parallel(ParallelMethodology {
+            processes: 2,
+            synchronization: "window scheme".into(),
+            summarization: CrossProcessSummary::Median,
+            anova_checked: true,
+        })
+        .plot("density", "density", None)
+}
+
+#[test]
+fn compliant_report_passes_all_rules() {
+    let audit = RuleAudit::check(&compliant_report());
+    assert!(audit.passed(), "{}", audit.render());
+    let passes = audit
+        .findings
+        .iter()
+        .filter(|f| f.verdict == Verdict::Pass)
+        .count();
+    assert!(passes >= 10, "{}", audit.render());
+}
+
+#[test]
+fn every_rule_violation_is_caught() {
+    // Rule 2: unjustified subset.
+    let mut r = compliant_report();
+    r.subset_justification = Some(String::new());
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R2NoCherryPicking));
+
+    // Rule 4: unjustified geometric mean of ratios.
+    let mut r = compliant_report();
+    r.ratio_geomean_used = true;
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R4NoRatioAverages));
+
+    // Rule 5: nondeterministic entry without any CI.
+    let mut r = compliant_report();
+    r.entries[0].summary.median_ci = None;
+    r.entries[0].summary.mean_ci = None;
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R5ReportVariability));
+
+    // Rule 6: parametric CI claimed valid without a normality diagnostic.
+    let mut r = compliant_report();
+    r.entries[0].summary.mean_ci_valid = true;
+    r.entries[0].summary.normality = None;
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R6CheckNormality));
+
+    // Rule 9: undocumented environment.
+    let mut r = compliant_report();
+    r.environment = EnvironmentDoc::new();
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R9DocumentSetup));
+
+    // Rule 10: parallel experiment without a synchronization description.
+    let mut r = compliant_report();
+    r.parallel.as_mut().unwrap().synchronization = String::new();
+    assert!(RuleAudit::check(&r)
+        .failures()
+        .contains(&Rule::R10ParallelTime));
+}
+
+#[test]
+fn warnings_do_not_fail_but_are_visible() {
+    let mut r = compliant_report();
+    r.bounds.clear();
+    r.plots.clear();
+    r.comparisons[0].quantile_effects.clear();
+    let audit = RuleAudit::check(&r);
+    assert!(audit.passed());
+    let warns: Vec<_> = audit
+        .findings
+        .iter()
+        .filter(|f| f.verdict == Verdict::Warn)
+        .map(|f| f.rule)
+        .collect();
+    assert!(warns.contains(&Rule::R11Bounds));
+    assert!(warns.contains(&Rule::R12Plots));
+    assert!(warns.contains(&Rule::R8RightStatistic));
+}
+
+#[test]
+fn audit_of_surveyed_practice_matches_table1_severity() {
+    // Grade the synthesized survey's papers with the auditor's Rule 9
+    // logic: the mean documentation score must match the dataset's.
+    use scibench_survey::paper_dataset;
+    let survey = paper_dataset();
+    let mut total = 0usize;
+    let mut applicable = 0usize;
+    for p in survey.applicable() {
+        total += p.design_score();
+        applicable += 1;
+    }
+    let mean = total as f64 / applicable as f64;
+    // The surveyed state of the practice documents ~3.3/9 classes — far
+    // from Rule 9 compliance; our auditor would fail nearly every paper.
+    assert!((2.5..4.5).contains(&mean), "mean {mean}");
+
+    // A paper documenting everything would pass Rule 9.
+    let r = compliant_report();
+    let audit = RuleAudit::check(&r);
+    let r9 = audit
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::R9DocumentSetup)
+        .unwrap();
+    assert_eq!(r9.verdict, Verdict::Pass);
+}
+
+#[test]
+fn adaptive_measurement_feeds_rule5_compliance() {
+    // Measure until the CI criterion holds, then verify the report's
+    // Rule 5 section is automatically satisfied.
+    let mut state = 99u64;
+    let plan = MeasurementPlan::new("adaptive").stopping(StoppingRule::AdaptiveMedianCi {
+        confidence: 0.95,
+        rel_error: 0.02,
+        batch: 50,
+        max_samples: 20_000,
+    });
+    let outcome = plan
+        .run(|| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            1.0 + ((state >> 33) % 100) as f64 / 400.0
+        })
+        .unwrap();
+    assert!(outcome.converged);
+    let summary = outcome.summarize(0.95).unwrap();
+    let r = ExperimentReport::new("adaptive-demo")
+        .environment(full_env())
+        .entry(summary, Unit::Seconds);
+    let audit = RuleAudit::check(&r);
+    let r5 = audit
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::R5ReportVariability)
+        .unwrap();
+    assert_eq!(r5.verdict, Verdict::Pass);
+}

@@ -5,63 +5,78 @@
 //! matching the paper).
 
 use std::fs;
+use std::process::ExitCode;
 
 use scibench_bench::figures::*;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn save(name: &str, text: &str) {
-    fs::create_dir_all(output::figures_dir()).expect("create figures dir");
+fn save(name: &str, text: &str) -> std::io::Result<()> {
+    fs::create_dir_all(output::figures_dir())?;
     let path = output::figures_dir().join(format!("{name}.txt"));
-    fs::write(&path, text).expect("write figure text");
+    fs::write(&path, text)?;
     println!("wrote {}", path.display());
+    Ok(())
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("all_figures: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let big = samples_from_env(1_000_000);
     let seed = DEFAULT_SEED;
 
-    let f1 = fig1_hpl::compute(50, seed).expect("fig1");
-    save("fig1_hpl", &f1.render());
-    output::write_csv("fig1_hpl", &f1.dataset()).expect("csv");
+    let f1 = fig1_hpl::compute(50, seed)?;
+    save("fig1_hpl", &f1.render())?;
+    output::write_csv("fig1_hpl", &f1.dataset())?;
 
     let t1 = table1::compute();
-    save("table1_survey", &t1.render());
-    output::write_csv("table1_scores", &t1.dataset()).expect("csv");
+    save("table1_survey", &t1.render())?;
+    output::write_csv("table1_scores", &t1.dataset())?;
 
-    let f2 = fig2_normalization::compute(big, seed).expect("fig2");
-    save("fig2_normalization", &f2.render());
-    output::write_csv("fig2_qq", &f2.dataset()).expect("csv");
+    let f2 = fig2_normalization::compute(big, seed)?;
+    save("fig2_normalization", &f2.render())?;
+    output::write_csv("fig2_qq", &f2.dataset())?;
 
-    let f3 = fig3_significance::compute(big, seed).expect("fig3");
-    save("fig3_significance", &f3.render());
-    output::write_csv("fig3_significance", &f3.dataset()).expect("csv");
+    let f3 = fig3_significance::compute(big, seed)?;
+    save("fig3_significance", &f3.render())?;
+    output::write_csv("fig3_significance", &f3.dataset())?;
     // The reproduction audits itself against the twelve rules.
     let audit = scibench::rules::RuleAudit::check(&f3.report());
-    save("fig3_rule_audit", &audit.render());
-    assert!(audit.passed(), "figure 3 report failed its own audit");
+    save("fig3_rule_audit", &audit.render())?;
+    if !audit.passed() {
+        return Err(format!("figure 3 report failed its own audit:\n{}", audit.render()).into());
+    }
 
-    let f4 = fig4_quantreg::compute(big, seed).expect("fig4");
-    save("fig4_quantile_regression", &f4.render());
-    output::write_csv("fig4_quantreg", &f4.dataset()).expect("csv");
+    let f4 = fig4_quantreg::compute(big, seed)?;
+    save("fig4_quantile_regression", &f4.render())?;
+    output::write_csv("fig4_quantreg", &f4.dataset())?;
 
-    let f5 = fig5_reduce::compute(1_000, seed).expect("fig5");
-    save("fig5_reduce_scaling", &f5.render());
-    output::write_csv("fig5_reduce", &f5.dataset()).expect("csv");
+    let f5 = fig5_reduce::compute(1_000, seed)?;
+    save("fig5_reduce_scaling", &f5.render())?;
+    output::write_csv("fig5_reduce", &f5.dataset())?;
 
-    let f6 = fig6_variation::compute(64, 1_000, seed).expect("fig6");
-    save("fig6_process_variation", &f6.render());
-    output::write_csv("fig6_variation", &f6.dataset()).expect("csv");
+    let f6 = fig6_variation::compute(64, 1_000, seed)?;
+    save("fig6_process_variation", &f6.render())?;
+    output::write_csv("fig6_variation", &f6.dataset())?;
 
-    let f7ab = fig7ab_bounds::compute(10, seed).expect("fig7ab");
-    save("fig7ab_bounds", &f7ab.render());
-    output::write_csv("fig7ab_bounds", &f7ab.dataset()).expect("csv");
+    let f7ab = fig7ab_bounds::compute(10, seed)?;
+    save("fig7ab_bounds", &f7ab.render())?;
+    output::write_csv("fig7ab_bounds", &f7ab.dataset())?;
 
-    let f7c = fig7c_plots::compute(big, seed).expect("fig7c");
-    save("fig7c_plots", &f7c.render());
-    output::write_csv("fig7c_plots", &f7c.dataset()).expect("csv");
+    let f7c = fig7c_plots::compute(big, seed)?;
+    save("fig7c_plots", &f7c.render())?;
+    output::write_csv("fig7c_plots", &f7c.dataset())?;
 
-    let ex = means_example::compute().expect("means example");
-    save("means_worked_example", &ex.render());
+    let ex = means_example::compute()?;
+    save("means_worked_example", &ex.render())?;
 
     println!("\nall figures regenerated (seed {seed:#x}, {big} samples for 1M-sample figures)");
+    Ok(())
 }

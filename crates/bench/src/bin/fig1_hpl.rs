@@ -1,12 +1,25 @@
 //! Regenerates Figure 1: distribution of 50 HPL completion times.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig1_hpl;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig1_hpl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let runs = samples_from_env(50);
-    let fig = fig1_hpl::compute(runs, DEFAULT_SEED).expect("figure 1 pipeline");
+    let fig = fig1_hpl::compute(runs, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig1_hpl", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig1_hpl", &fig.dataset())?;
     println!("raw data: {}", path.display());
+    Ok(())
 }

@@ -1,12 +1,25 @@
 //! Regenerates Figure 2: normalization of 1M ping-pong samples.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig2_normalization;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig2_normalization: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let samples = samples_from_env(1_000_000);
-    let fig = fig2_normalization::compute(samples, DEFAULT_SEED).expect("figure 2 pipeline");
+    let fig = fig2_normalization::compute(samples, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig2_qq", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig2_qq", &fig.dataset())?;
     println!("Q-Q data: {}", path.display());
+    Ok(())
 }

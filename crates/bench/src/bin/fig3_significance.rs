@@ -1,12 +1,25 @@
 //! Regenerates Figure 3: latency significance on two systems.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig3_significance;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig3_significance: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let samples = samples_from_env(1_000_000);
-    let fig = fig3_significance::compute(samples, DEFAULT_SEED).expect("figure 3 pipeline");
+    let fig = fig3_significance::compute(samples, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig3_significance", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig3_significance", &fig.dataset())?;
     println!("summary data: {}", path.display());
+    Ok(())
 }

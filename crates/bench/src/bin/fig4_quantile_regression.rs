@@ -1,12 +1,25 @@
 //! Regenerates Figure 4: quantile regression Pilatus vs Piz Dora.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig4_quantreg;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig4_quantile_regression: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let samples = samples_from_env(1_000_000);
-    let fig = fig4_quantreg::compute(samples, DEFAULT_SEED).expect("figure 4 pipeline");
+    let fig = fig4_quantreg::compute(samples, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig4_quantreg", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig4_quantreg", &fig.dataset())?;
     println!("quantile effects: {}", path.display());
+    Ok(())
 }

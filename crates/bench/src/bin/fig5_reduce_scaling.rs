@@ -1,15 +1,28 @@
 //! Regenerates Figure 5: MPI_Reduce completion times for p = 2..64.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig5_reduce;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig5_reduce_scaling: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let runs = samples_from_env(1_000);
-    let fig = fig5_reduce::compute(runs, DEFAULT_SEED).expect("figure 5 pipeline");
+    let fig = fig5_reduce::compute(runs, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let (pof2, others) = fig.series().expect("series");
+    let (pof2, others) = fig.series()?;
     println!("\npowers-of-two series:\n{}", pof2.to_csv());
     println!("others (not connected, Rule 12):\n{}", others.to_csv());
-    let path = output::write_csv("fig5_reduce", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig5_reduce", &fig.dataset())?;
     println!("per-p summaries: {}", path.display());
+    Ok(())
 }

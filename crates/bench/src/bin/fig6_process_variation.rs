@@ -1,12 +1,25 @@
 //! Regenerates Figure 6: per-process variation of MPI_Reduce on 64 ranks.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig6_variation;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig6_process_variation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let runs = samples_from_env(1_000);
-    let fig = fig6_variation::compute(64, runs, DEFAULT_SEED).expect("figure 6 pipeline");
+    let fig = fig6_variation::compute(64, runs, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig6_variation", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig6_variation", &fig.dataset())?;
     println!("per-rank boxes: {}", path.display());
+    Ok(())
 }

@@ -1,12 +1,25 @@
 //! Regenerates Figure 7(a,b): time/speedup bounds for the pi workload.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig7ab_bounds;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7ab_bounds: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let reps = samples_from_env(10);
-    let fig = fig7ab_bounds::compute(reps, DEFAULT_SEED).expect("figure 7ab pipeline");
+    let fig = fig7ab_bounds::compute(reps, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig7ab_bounds", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig7ab_bounds", &fig.dataset())?;
     println!("scaling data: {}", path.display());
+    Ok(())
 }

@@ -1,12 +1,25 @@
 //! Regenerates Figure 7(c): box/violin/combined latency plots.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::fig7c_plots;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig7c_plots: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let samples = samples_from_env(1_000_000);
-    let fig = fig7c_plots::compute(samples, DEFAULT_SEED).expect("figure 7c pipeline");
+    let fig = fig7c_plots::compute(samples, DEFAULT_SEED)?;
     println!("{}", fig.render());
-    let path = output::write_csv("fig7c_plots", &fig.dataset()).expect("write csv");
+    let path = output::write_csv("fig7c_plots", &fig.dataset())?;
     println!("plot stats: {}", path.display());
+    Ok(())
 }

@@ -1,10 +1,18 @@
 //! Regenerates the §3.1.1 worked mean-summarization example.
 
+use std::process::ExitCode;
+
 use scibench_bench::figures::means_example;
 
-fn main() {
-    println!(
-        "{}",
-        means_example::compute().expect("worked example").render()
-    );
+fn main() -> ExitCode {
+    match means_example::compute() {
+        Ok(example) => {
+            println!("{}", example.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("means_worked_example: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -23,6 +23,7 @@ use scibench_stats::ci::{self, ConfidenceInterval};
 use scibench_stats::error::{StatsError, StatsResult};
 use scibench_stats::normality::{shapiro_wilk_thinned, ShapiroWilk};
 use scibench_stats::quantile::FiveNumberSummary;
+use scibench_stats::sanitize::sanitize;
 use scibench_stats::summary;
 
 /// When to stop measuring.
@@ -238,8 +239,21 @@ pub struct MeasurementOutcome {
 
 impl MeasurementOutcome {
     /// Summarizes the measurements per Rules 5 and 6.
+    ///
+    /// Non-finite samples (NaN from clock jumps, ±∞ from overflowed
+    /// timers) are partitioned out first and *counted* rather than
+    /// propagated as an error, per Rule 4: the summary discloses how many
+    /// samples were dropped, and while any contamination is present the
+    /// parametric mean CI is withheld — the nonparametric median CI of
+    /// the surviving samples is the only interval reported. An
+    /// all-contaminated outcome still fails with a typed error because
+    /// there is nothing left to summarize.
     pub fn summarize(&self, confidence: f64) -> StatsResult<MeasurementSummary> {
-        let xs = &self.samples;
+        let sanitized = sanitize(&self.samples);
+        if sanitized.clean.is_empty() && sanitized.contaminated() {
+            return Err(StatsError::NonFiniteSample);
+        }
+        let xs = &sanitized.clean;
         let five = FiveNumberSummary::from_samples(xs)?;
         let mean = summary::arithmetic_mean(xs)?;
         let deterministic = five.max == five.min;
@@ -272,6 +286,10 @@ impl MeasurementOutcome {
         Ok(MeasurementSummary {
             name: self.name.clone(),
             n: xs.len(),
+            samples_recorded: sanitized.recorded(),
+            samples_dropped: sanitized.dropped(),
+            dropped_nan: sanitized.dropped_nan,
+            dropped_infinite: sanitized.dropped_infinite,
             deterministic,
             converged: self.converged,
             mean,
@@ -279,7 +297,10 @@ impl MeasurementOutcome {
             cov,
             five_number: five,
             normality,
-            mean_ci_valid: normal_ok,
+            // Contamination degrades the summary to nonparametric-only:
+            // the mean of a partially-dropped sample is biased in an
+            // unknown direction, so its CI must not be blessed.
+            mean_ci_valid: normal_ok && !sanitized.contaminated(),
             mean_ci,
             median_ci,
             confidence,
@@ -292,8 +313,20 @@ impl MeasurementOutcome {
 pub struct MeasurementSummary {
     /// Operation name.
     pub name: String,
-    /// Number of recorded samples.
+    /// Number of *usable* (finite) samples the statistics are based on.
     pub n: usize,
+    /// Number of samples recorded before sanitization (`n` plus drops).
+    #[serde(default)]
+    pub samples_recorded: usize,
+    /// Total non-finite samples dropped during sanitization (Rule 4).
+    #[serde(default)]
+    pub samples_dropped: usize,
+    /// NaN samples dropped (e.g. clock-jump-corrupted readings).
+    #[serde(default)]
+    pub dropped_nan: usize,
+    /// Infinite samples dropped (e.g. overflowed timer deltas).
+    #[serde(default)]
+    pub dropped_infinite: usize,
     /// Rule 5: "report if the measurement values are deterministic".
     pub deterministic: bool,
     /// Whether the adaptive stopping criterion was met.
@@ -350,6 +383,17 @@ impl MeasurementSummary {
             out.push_str(&format!(" CoV={c:.4}"));
         }
         out.push('\n');
+        if self.samples_dropped > 0 {
+            out.push_str(&format!(
+                "  contamination: {} of {} samples usable, {} dropped \
+                 ({} NaN, {} infinite); mean CI withheld, median CI reported\n",
+                self.n,
+                self.samples_recorded,
+                self.samples_dropped,
+                self.dropped_nan,
+                self.dropped_infinite,
+            ));
+        }
         if let Some(sw) = &self.normality {
             out.push_str(&format!(
                 "  normality: Shapiro-Wilk W={:.4} p={:.4} -> {}\n",
@@ -589,6 +633,67 @@ mod tests {
             })
             .run(|| 1.0)
             .is_err());
+    }
+
+    #[test]
+    fn contaminated_samples_degrade_to_median_ci() {
+        let mut g = Gen::new(10);
+        // Near-normal data that would normally bless the mean CI.
+        let mut samples: Vec<f64> = (0..200)
+            .map(|_| (0..12).map(|_| g.next_uniform()).sum::<f64>())
+            .collect();
+        samples[5] = f64::NAN;
+        samples[17] = f64::INFINITY;
+        samples[90] = f64::NEG_INFINITY;
+        let out = MeasurementOutcome {
+            name: "contaminated".to_owned(),
+            warmup_samples: Vec::new(),
+            samples,
+            converged: true,
+        };
+        let s = out.summarize(0.95).unwrap();
+        assert_eq!(s.n, 197);
+        assert_eq!(s.samples_recorded, 200);
+        assert_eq!(s.samples_dropped, 3);
+        assert_eq!(s.dropped_nan, 1);
+        assert_eq!(s.dropped_infinite, 2);
+        assert!(
+            !s.mean_ci_valid,
+            "contamination must withhold the mean CI even for normal data"
+        );
+        assert!(s.median_ci.is_some());
+        let text = s.render();
+        assert!(text.contains("197 of 200 samples usable"), "{text}");
+        assert!(!text.contains("CI(mean)"), "{text}");
+        assert!(text.contains("CI(median)"), "{text}");
+    }
+
+    #[test]
+    fn all_contaminated_outcome_fails_with_typed_error() {
+        let out = MeasurementOutcome {
+            name: "dead".to_owned(),
+            warmup_samples: Vec::new(),
+            samples: vec![f64::NAN, f64::INFINITY, f64::NAN],
+            converged: false,
+        };
+        assert!(matches!(
+            out.summarize(0.95),
+            Err(StatsError::NonFiniteSample)
+        ));
+    }
+
+    #[test]
+    fn clean_samples_report_zero_drops() {
+        let plan = MeasurementPlan::new("clean").stopping(StoppingRule::FixedCount(30));
+        let mut g = Gen::new(11);
+        let s = plan
+            .run(|| g.next_latency())
+            .unwrap()
+            .summarize(0.95)
+            .unwrap();
+        assert_eq!(s.samples_recorded, 30);
+        assert_eq!(s.samples_dropped, 0);
+        assert!(!s.render().contains("contamination"));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! - [`adaptive`]: SKaMPI-style adaptive level refinement (§4.2);
 //! - [`campaign`]: deterministic (optionally thread-parallel) execution
 //!   of a whole design through a measurement plan;
+//! - [`resilience`]: the same execution with retry, timeout and
+//!   graceful degradation instead of first-error abort — for faulty
+//!   machines and fault-injected simulations;
 //! - [`scaling`]: strong/weak scaling declarations with explicit scaling
 //!   functions (§4.2).
 
@@ -19,6 +22,7 @@ pub mod campaign;
 pub mod design;
 pub mod environment;
 pub mod measurement;
+pub mod resilience;
 pub mod scaling;
 
 pub use adaptive::{refine_levels, Refinement, RefinementConfig};
@@ -26,3 +30,7 @@ pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignRun};
 pub use design::{Design, Factor, RunPoint};
 pub use environment::{DocumentationClass, EnvironmentDoc};
 pub use measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary, StoppingRule};
+pub use resilience::{
+    run_campaign_resilient, CampaignError, CampaignHealth, MeasureFailure, PointFate,
+    ResilientCampaignResult, ResilientRun, RetryPolicy,
+};

@@ -1,0 +1,851 @@
+//! A resilient campaign runner: retry, timeout and graceful degradation.
+//!
+//! [`super::campaign::run_campaign`] aborts the whole campaign on the
+//! first error — the right behaviour for a clean simulator, but not for
+//! measurements on faulty hardware (or a fault-injected simulation, see
+//! [`scibench_sim::fault`]). This module runs the same factorial design
+//! with a failure budget instead:
+//!
+//! * every design point is attempted up to [`RetryPolicy::max_attempts`]
+//!   times, with exponential backoff charged in *simulated* time between
+//!   attempts;
+//! * a per-point budget of simulated time quarantines points that cannot
+//!   finish ([`PointFate::TimedOut`]);
+//! * individual failed samples inside an attempt are recorded as NaN and
+//!   later dropped by the sanitizing summary — up to
+//!   [`RetryPolicy::max_contamination`], beyond which the attempt is
+//!   retried wholesale;
+//! * panics in the measurement closure are contained with
+//!   [`std::panic::catch_unwind`] and count as failed attempts;
+//! * instead of propagating the first error, the runner returns every
+//!   surviving outcome plus a [`CampaignHealth`] summary disclosing, per
+//!   Rule 4, how many points completed, were retried, timed out or were
+//!   abandoned, and how many samples were dropped.
+//!
+//! Determinism is preserved: every attempt draws from a stream forked
+//! from `(campaign seed, design index, attempt index)`, so results are
+//! identical at any thread count and fault schedules never depend on
+//! scheduling.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use scibench_sim::fault::SimFault;
+use scibench_sim::rng::SimRng;
+use scibench_stats::error::StatsResult;
+
+use super::campaign::CampaignConfig;
+use super::design::{Design, RunPoint};
+use super::measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary};
+
+/// Why one invocation of the measurement closure failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureFailure {
+    /// An injected simulator fault (crash, link failure, clock jump).
+    Fault(SimFault),
+    /// Any other failure, described as text.
+    Failed(String),
+}
+
+impl From<SimFault> for MeasureFailure {
+    fn from(fault: SimFault) -> Self {
+        MeasureFailure::Fault(fault)
+    }
+}
+
+impl fmt::Display for MeasureFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureFailure::Fault(fault) => write!(f, "{fault}"),
+            MeasureFailure::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureFailure {}
+
+/// Retry, backoff and budget knobs of the resilient runner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per design point before it is abandoned (min 1).
+    pub max_attempts: usize,
+    /// Simulated-time backoff charged after the first failed attempt.
+    pub backoff_base_ns: f64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+    /// Per-point budget of simulated time (measurement cost + backoff);
+    /// `None` = unlimited. A point that exceeds it is quarantined as
+    /// [`PointFate::TimedOut`].
+    pub point_budget_ns: Option<f64>,
+    /// Highest tolerated fraction of failed samples within one attempt.
+    /// At or below it the attempt succeeds with the failures recorded as
+    /// dropped samples; above it the whole attempt is retried.
+    pub max_contamination: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_ns: 1e6,
+            backoff_factor: 2.0,
+            point_budget_ns: None,
+            max_contamination: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the number of attempts.
+    pub fn attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Sets the per-point simulated-time budget.
+    pub fn budget_ns(mut self, ns: f64) -> Self {
+        self.point_budget_ns = Some(ns);
+        self
+    }
+
+    /// Sets the tolerated per-attempt contamination fraction.
+    pub fn contamination(mut self, fraction: f64) -> Self {
+        self.max_contamination = fraction;
+        self
+    }
+}
+
+/// What finally happened to one design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PointFate {
+    /// The point produced a usable outcome.
+    Completed {
+        /// Attempts consumed (1 = first try).
+        attempts: usize,
+        /// Failed samples recorded as NaN inside the successful attempt
+        /// (dropped later by the sanitizing summary).
+        samples_dropped: usize,
+    },
+    /// The simulated-time budget ran out; the point is quarantined.
+    TimedOut {
+        /// Attempts consumed when the budget was exceeded.
+        attempts: usize,
+        /// Simulated time spent on the point, nanoseconds.
+        elapsed_ns: f64,
+    },
+    /// Every attempt failed; the point is quarantined.
+    Abandoned {
+        /// Attempts consumed.
+        attempts: usize,
+        /// Description of the last failure (fault, panic or statistics
+        /// error).
+        last_error: String,
+    },
+}
+
+impl PointFate {
+    /// Whether the point produced a usable outcome.
+    pub fn completed(&self) -> bool {
+        matches!(self, PointFate::Completed { .. })
+    }
+}
+
+/// One design point executed by the resilient runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientRun {
+    /// The factor levels of this run.
+    pub point: RunPoint,
+    /// The surviving outcome; `None` when the point was quarantined.
+    pub outcome: Option<MeasurementOutcome>,
+    /// What happened to the point.
+    pub fate: PointFate,
+    /// Panics contained while attempting this point.
+    pub panics_contained: usize,
+}
+
+/// Rule-4 disclosure of how the campaign fared.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CampaignHealth {
+    /// Design points in the campaign.
+    pub points_total: usize,
+    /// Points that produced a usable outcome.
+    pub points_completed: usize,
+    /// Completed points that needed more than one attempt.
+    pub points_retried: usize,
+    /// Points quarantined after exceeding their budget.
+    pub points_timed_out: usize,
+    /// Points quarantined after exhausting their attempts.
+    pub points_abandoned: usize,
+    /// Attempts consumed across all points.
+    pub attempts_total: usize,
+    /// Failed samples recorded (and later dropped) inside completed
+    /// points.
+    pub samples_dropped: usize,
+    /// Panics contained by the runner.
+    pub panics_contained: usize,
+}
+
+impl CampaignHealth {
+    /// Whether every point completed on its first attempt with no
+    /// dropped samples and no contained panics.
+    pub fn pristine(&self) -> bool {
+        self.points_completed == self.points_total
+            && self.points_retried == 0
+            && self.samples_dropped == 0
+            && self.panics_contained == 0
+    }
+
+    /// Renders the health summary as one disclosure line (Rule 4).
+    pub fn render(&self) -> String {
+        format!(
+            "campaign health: {}/{} points completed ({} retried), \
+             {} timed out, {} abandoned; {} attempts; \
+             {} samples dropped; {} panics contained",
+            self.points_completed,
+            self.points_total,
+            self.points_retried,
+            self.points_timed_out,
+            self.points_abandoned,
+            self.attempts_total,
+            self.samples_dropped,
+            self.panics_contained,
+        )
+    }
+}
+
+/// The executed resilient campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientCampaignResult {
+    /// Executed runs, in design (full-factorial) order. Quarantined
+    /// points are present with `outcome: None`.
+    pub runs: Vec<ResilientRun>,
+    /// The aggregated health disclosure.
+    pub health: CampaignHealth,
+}
+
+impl ResilientCampaignResult {
+    /// Summarizes every *surviving* run at the given confidence level;
+    /// quarantined points are skipped.
+    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(RunPoint, MeasurementSummary)>> {
+        self.runs
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().map(|o| (r, o)))
+            .map(|(r, o)| Ok((r.point.clone(), o.summarize(confidence)?)))
+            .collect()
+    }
+
+    /// The quarantined points (timed out or abandoned).
+    pub fn quarantined(&self) -> Vec<&RunPoint> {
+        self.runs
+            .iter()
+            .filter(|r| r.outcome.is_none())
+            .map(|r| &r.point)
+            .collect()
+    }
+}
+
+/// Errors of the resilient runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The design expands to zero points.
+    EmptyDesign,
+    /// Not a single design point produced a usable outcome; the health
+    /// disclosure explains what happened.
+    AllPointsFailed {
+        /// The aggregated health of the failed campaign.
+        health: CampaignHealth,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::EmptyDesign => write!(f, "design expands to zero points"),
+            CampaignError::AllPointsFailed { health } => {
+                write!(f, "no design point survived: {}", health.render())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Executes `design` with `plan` at every point, tolerating failures per
+/// `policy`.
+///
+/// `measure` maps `(point, rng)` to the cost of one execution or a
+/// [`MeasureFailure`]. Failed samples inside an attempt are recorded as
+/// NaN and surface as dropped samples in the sanitizing summary (which
+/// then withholds the parametric mean CI); attempts whose contamination
+/// exceeds [`RetryPolicy::max_contamination`] — and attempts that panic
+/// or fail their adaptive stopping rule — are retried with exponential
+/// backoff until the point's budget or attempt count runs out. The
+/// function must be `Sync` because points may execute on worker threads.
+///
+/// Returns [`CampaignError::AllPointsFailed`] only when *no* point
+/// survives; any partial campaign is returned with its
+/// [`CampaignHealth`] disclosure.
+pub fn run_campaign_resilient<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    measure: F,
+) -> Result<ResilientCampaignResult, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(CampaignError::EmptyDesign);
+    }
+    let threads = config.threads.clamp(1, points.len());
+    let max_attempts = policy.max_attempts.max(1);
+    let budget = policy.point_budget_ns.unwrap_or(f64::INFINITY);
+
+    // Same randomized execution order as the strict runner (§4.1.1).
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let mut order_rng = SimRng::new(config.seed).fork("campaign-order");
+    order_rng.shuffle(&mut order);
+
+    let root = SimRng::new(config.seed);
+    let run_one = |design_idx: usize| -> ResilientRun {
+        let point = &points[design_idx];
+        let point_root = root.fork_indexed("campaign-point", design_idx as u64);
+        let elapsed = Cell::new(0.0f64);
+        let mut attempts = 0usize;
+        let mut panics_contained = 0usize;
+        let mut timed_out = false;
+        let mut last_error = String::from("no attempt made");
+
+        while attempts < max_attempts {
+            let attempt_idx = attempts as u64;
+            attempts += 1;
+            let mut rng = point_root.fork_indexed("campaign-attempt", attempt_idx);
+            // Per-attempt bookkeeping lives in cells so it stays readable
+            // after a contained panic.
+            let calls = Cell::new(0usize);
+            let recorded_failures = Cell::new(0usize);
+            let overran = Cell::new(false);
+            let first_error: RefCell<Option<String>> = RefCell::new(None);
+
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                plan.run(|| {
+                    let call_idx = calls.get();
+                    calls.set(call_idx + 1);
+                    if elapsed.get() > budget {
+                        overran.set(true);
+                        return f64::NAN;
+                    }
+                    match measure(point, &mut rng) {
+                        Ok(cost) => {
+                            elapsed.set(elapsed.get() + cost.max(0.0));
+                            cost
+                        }
+                        Err(e) => {
+                            // Warmup failures cost nothing statistically;
+                            // only recorded samples count as contaminated.
+                            if call_idx >= plan.warmup_iterations {
+                                recorded_failures.set(recorded_failures.get() + 1);
+                            }
+                            if first_error.borrow().is_none() {
+                                *first_error.borrow_mut() = Some(e.to_string());
+                            }
+                            f64::NAN
+                        }
+                    }
+                })
+            }));
+
+            match attempt {
+                Err(payload) => {
+                    panics_contained += 1;
+                    last_error = format!("panicked: {}", panic_message(&*payload));
+                }
+                Ok(Err(stats_err)) => {
+                    if overran.get() {
+                        timed_out = true;
+                        break;
+                    }
+                    last_error = first_error
+                        .into_inner()
+                        .unwrap_or_else(|| stats_err.to_string());
+                }
+                Ok(Ok(outcome)) => {
+                    if overran.get() {
+                        timed_out = true;
+                        break;
+                    }
+                    let recorded = outcome.samples.len();
+                    let failures = recorded_failures.get();
+                    if recorded > 0 && failures as f64 <= policy.max_contamination * recorded as f64
+                    {
+                        return ResilientRun {
+                            point: point.clone(),
+                            outcome: Some(outcome),
+                            fate: PointFate::Completed {
+                                attempts,
+                                samples_dropped: failures,
+                            },
+                            panics_contained,
+                        };
+                    }
+                    last_error = first_error
+                        .into_inner()
+                        .unwrap_or_else(|| format!("{failures} of {recorded} samples failed"));
+                }
+            }
+
+            // Exponential backoff charged against the simulated budget.
+            if attempts < max_attempts {
+                let backoff =
+                    policy.backoff_base_ns * policy.backoff_factor.powi(attempts as i32 - 1);
+                elapsed.set(elapsed.get() + backoff.max(0.0));
+                if elapsed.get() > budget {
+                    timed_out = true;
+                    break;
+                }
+            }
+        }
+
+        let fate = if timed_out {
+            PointFate::TimedOut {
+                attempts,
+                elapsed_ns: elapsed.get(),
+            }
+        } else {
+            PointFate::Abandoned {
+                attempts,
+                last_error,
+            }
+        };
+        ResilientRun {
+            point: point.clone(),
+            outcome: None,
+            fate,
+            panics_contained,
+        }
+    };
+
+    let mut slots: Vec<Option<ResilientRun>> = (0..points.len()).map(|_| None).collect();
+    if threads == 1 {
+        for &idx in &order {
+            slots[idx] = Some(run_one(idx));
+        }
+    } else {
+        // Static chunking of the shuffled order; no early abort — every
+        // point runs to its own fate regardless of its neighbours.
+        let results: Mutex<Vec<(usize, ResilientRun)>> =
+            Mutex::new(Vec::with_capacity(points.len()));
+        std::thread::scope(|scope| {
+            for chunk in order.chunks(order.len().div_ceil(threads)) {
+                let results = &results;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    for &idx in chunk {
+                        let run = run_one(idx);
+                        results.lock().expect("poisoned").push((idx, run));
+                    }
+                });
+            }
+        });
+        for (idx, run) in results.into_inner().expect("poisoned") {
+            slots[idx] = Some(run);
+        }
+    }
+
+    let runs: Vec<ResilientRun> = slots
+        .into_iter()
+        .map(|s| s.expect("every design point executed"))
+        .collect();
+
+    let mut health = CampaignHealth {
+        points_total: runs.len(),
+        ..CampaignHealth::default()
+    };
+    for run in &runs {
+        health.panics_contained += run.panics_contained;
+        match &run.fate {
+            PointFate::Completed {
+                attempts,
+                samples_dropped,
+            } => {
+                health.points_completed += 1;
+                if *attempts > 1 {
+                    health.points_retried += 1;
+                }
+                health.attempts_total += attempts;
+                health.samples_dropped += samples_dropped;
+            }
+            PointFate::TimedOut { attempts, .. } => {
+                health.points_timed_out += 1;
+                health.attempts_total += attempts;
+            }
+            PointFate::Abandoned { attempts, .. } => {
+                health.points_abandoned += 1;
+                health.attempts_total += attempts;
+            }
+        }
+    }
+
+    if health.points_completed == 0 {
+        return Err(CampaignError::AllPointsFailed { health });
+    }
+    Ok(ResilientCampaignResult { runs, health })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::design::Factor;
+    use crate::experiment::measurement::StoppingRule;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn demo_design() -> Design {
+        Design::new(vec![
+            Factor::new("system", &["a", "b"]),
+            Factor::numeric("size", &[8.0, 64.0]),
+        ])
+    }
+
+    fn fixed_plan(n: usize) -> MeasurementPlan {
+        MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(n))
+    }
+
+    fn clean_measure(point: &RunPoint, rng: &mut SimRng) -> Result<f64, MeasureFailure> {
+        let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+        Ok(base + rng.uniform() * 0.01)
+    }
+
+    #[test]
+    fn fault_free_campaign_is_pristine() {
+        let result = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(20),
+            &CampaignConfig {
+                seed: 1,
+                threads: 1,
+            },
+            &RetryPolicy::default(),
+            clean_measure,
+        )
+        .unwrap();
+        assert_eq!(result.runs.len(), 4);
+        assert!(result.health.pristine(), "{}", result.health.render());
+        assert_eq!(result.health.attempts_total, 4);
+        assert!(result.quarantined().is_empty());
+        for r in &result.runs {
+            assert!(matches!(
+                r.fate,
+                PointFate::Completed {
+                    attempts: 1,
+                    samples_dropped: 0
+                }
+            ));
+        }
+        assert_eq!(result.summaries(0.95).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn failing_first_attempt_is_retried() {
+        let calls = AtomicUsize::new(0);
+        let result = run_campaign_resilient(
+            &Design::new(vec![Factor::new("only", &["x"])]),
+            &fixed_plan(10),
+            &CampaignConfig {
+                seed: 2,
+                threads: 1,
+            },
+            &RetryPolicy::default(),
+            |_point, _rng| {
+                // The whole first attempt (10 samples) fails; the second
+                // succeeds.
+                if calls.fetch_add(1, Ordering::SeqCst) < 10 {
+                    Err(MeasureFailure::Failed("transient".into()))
+                } else {
+                    Ok(1.0)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(result.runs.len(), 1);
+        assert!(matches!(
+            result.runs[0].fate,
+            PointFate::Completed {
+                attempts: 2,
+                samples_dropped: 0
+            }
+        ));
+        assert_eq!(result.health.points_retried, 1);
+        assert_eq!(result.health.attempts_total, 2);
+    }
+
+    #[test]
+    fn tolerated_contamination_survives_and_degrades_summary() {
+        let result = run_campaign_resilient(
+            &Design::new(vec![Factor::new("only", &["x"])]),
+            &fixed_plan(100),
+            &CampaignConfig {
+                seed: 3,
+                threads: 1,
+            },
+            &RetryPolicy::default().contamination(0.2),
+            |_point, rng| {
+                if rng.uniform() < 0.05 {
+                    Err(SimFault::NodeCrashed {
+                        node: 0,
+                        at_ns: 0.0,
+                    }
+                    .into())
+                } else {
+                    Ok(1.0 + rng.uniform() * 0.1)
+                }
+            },
+        )
+        .unwrap();
+        let run = &result.runs[0];
+        let dropped = match run.fate {
+            PointFate::Completed {
+                samples_dropped, ..
+            } => samples_dropped,
+            ref other => panic!("unexpected fate {other:?}"),
+        };
+        assert!(dropped > 0, "5% failure rate never fired in 100 samples");
+        assert_eq!(result.health.samples_dropped, dropped);
+        let (_, summary) = &result.summaries(0.95).unwrap()[0];
+        assert_eq!(summary.samples_dropped, dropped);
+        assert_eq!(summary.n, 100 - dropped);
+        assert!(!summary.mean_ci_valid);
+        assert!(summary.median_ci.is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines_the_point() {
+        let design = Design::new(vec![Factor::new("node", &["slow", "fast"])]);
+        let result = run_campaign_resilient(
+            &design,
+            &fixed_plan(10),
+            &CampaignConfig {
+                seed: 4,
+                threads: 1,
+            },
+            &RetryPolicy::default().budget_ns(5e8),
+            |point, rng| {
+                if point.level(0) == "slow" {
+                    Ok(1e9) // one sample blows the budget
+                } else {
+                    Ok(100.0 + rng.uniform())
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(result.health.points_timed_out, 1);
+        assert_eq!(result.health.points_completed, 1);
+        let slow = result
+            .runs
+            .iter()
+            .find(|r| r.point.level(0) == "slow")
+            .unwrap();
+        assert!(slow.outcome.is_none());
+        assert!(matches!(slow.fate, PointFate::TimedOut { .. }));
+        assert_eq!(result.quarantined().len(), 1);
+        // Summaries skip the quarantined point.
+        assert_eq!(result.summaries(0.95).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn backoff_is_charged_against_the_budget() {
+        let result = run_campaign_resilient(
+            &Design::new(vec![Factor::new("only", &["x"])]),
+            &fixed_plan(5),
+            &CampaignConfig {
+                seed: 5,
+                threads: 1,
+            },
+            &RetryPolicy {
+                max_attempts: 100,
+                backoff_base_ns: 1e9,
+                backoff_factor: 2.0,
+                point_budget_ns: Some(3e9),
+                max_contamination: 0.0,
+            },
+            |_point, _rng| Err::<f64, _>(MeasureFailure::Failed("always".into())),
+        );
+        // Backoff (1e9, then 2e9) exceeds the 3e9 budget after two
+        // failed attempts: timeout, not 100 attempts of abandonment.
+        let err = result.unwrap_err();
+        match err {
+            CampaignError::AllPointsFailed { health } => {
+                assert_eq!(health.points_timed_out, 1);
+                assert!(health.attempts_total < 10, "{}", health.render());
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn all_points_failed_is_a_typed_error() {
+        let err = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(5),
+            &CampaignConfig {
+                seed: 6,
+                threads: 2,
+            },
+            &RetryPolicy::default().attempts(2),
+            |_point, _rng| {
+                Err::<f64, _>(
+                    SimFault::NodeCrashed {
+                        node: 3,
+                        at_ns: 1.0,
+                    }
+                    .into(),
+                )
+            },
+        )
+        .unwrap_err();
+        match err {
+            CampaignError::AllPointsFailed { health } => {
+                assert_eq!(health.points_abandoned, 4);
+                assert_eq!(health.points_completed, 0);
+                assert_eq!(health.attempts_total, 8);
+                assert!(health.render().contains("0/4 points completed"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn panics_are_contained_and_reported() {
+        let design = Design::new(vec![Factor::new("mode", &["ok", "boom"])]);
+        let result = run_campaign_resilient(
+            &design,
+            &fixed_plan(10),
+            &CampaignConfig {
+                seed: 7,
+                threads: 1,
+            },
+            &RetryPolicy::default().attempts(2),
+            |point, rng| {
+                if point.level(0) == "boom" {
+                    panic!("injected panic");
+                }
+                Ok(1.0 + rng.uniform())
+            },
+        )
+        .unwrap();
+        assert_eq!(result.health.points_completed, 1);
+        assert_eq!(result.health.points_abandoned, 1);
+        assert_eq!(result.health.panics_contained, 2);
+        let boom = result
+            .runs
+            .iter()
+            .find(|r| r.point.level(0) == "boom")
+            .unwrap();
+        match &boom.fate {
+            PointFate::Abandoned { last_error, .. } => {
+                assert!(last_error.contains("injected panic"), "{last_error}");
+            }
+            other => panic!("unexpected fate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let faulty = |_point: &RunPoint, rng: &mut SimRng| {
+            if rng.uniform() < 0.1 {
+                Err(MeasureFailure::Fault(SimFault::LinkFailed {
+                    src: 0,
+                    dst: 1,
+                    drops: 4,
+                }))
+            } else {
+                Ok(1.0 + rng.uniform() * 0.2)
+            }
+        };
+        let run = |threads: usize| {
+            run_campaign_resilient(
+                &demo_design(),
+                &fixed_plan(40),
+                &CampaignConfig { seed: 8, threads },
+                &RetryPolicy::default(),
+                faulty,
+            )
+            .unwrap()
+        };
+        let seq = run(1);
+        let par = run(8);
+        // NaN placeholders defeat PartialEq, so compare bit-exactly.
+        assert_eq!(seq.health, par.health);
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.fate, b.fate);
+            assert_eq!(a.panics_contained, b.panics_contained);
+            let (oa, ob) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(oa.samples.len(), ob.samples.len());
+            for (x, y) in oa.samples.iter().zip(&ob.samples) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(seq.health.samples_dropped > 0 || seq.health.points_retried > 0);
+    }
+
+    #[test]
+    fn campaign_error_display_is_informative() {
+        let err = CampaignError::AllPointsFailed {
+            health: CampaignHealth {
+                points_total: 2,
+                points_abandoned: 2,
+                attempts_total: 6,
+                ..CampaignHealth::default()
+            },
+        };
+        assert!(err.to_string().contains("no design point survived"));
+        assert!(err.to_string().contains("0/2 points completed"));
+        assert!(CampaignError::EmptyDesign
+            .to_string()
+            .contains("zero points"));
+    }
+
+    #[test]
+    fn health_render_is_one_line() {
+        let health = CampaignHealth {
+            points_total: 12,
+            points_completed: 10,
+            points_retried: 3,
+            points_timed_out: 1,
+            points_abandoned: 1,
+            attempts_total: 17,
+            samples_dropped: 42,
+            panics_contained: 2,
+        };
+        let line = health.render();
+        assert!(!line.contains('\n'));
+        for needle in [
+            "10/12",
+            "3 retried",
+            "1 timed out",
+            "1 abandoned",
+            "42 samples dropped",
+            "2 panics contained",
+        ] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+        assert!(!health.pristine());
+    }
+}

@@ -215,7 +215,8 @@ impl ExperimentReport {
             ));
         }
         if !self.entries.is_empty() {
-            out.push_str("## Measurements\n\n| operation | unit | n | det. | median | mean | CI |\n|---|---|---|---|---|---|---|\n");
+            out.push_str("## Measurements\n\n| operation | unit | n | dropped | det. | median | mean | CI |\n|---|---|---|---|---|---|---|---|\n");
+            let mut contaminated = 0usize;
             for e in &self.entries {
                 let s = &e.summary;
                 let ci = match (&s.median_ci, s.mean_ci_valid, &s.mean_ci) {
@@ -233,11 +234,18 @@ impl ExperimentReport {
                     ),
                     _ => "-".into(),
                 };
+                let dropped = if s.samples_dropped > 0 {
+                    contaminated += 1;
+                    format!("{} of {}", s.samples_dropped, s.samples_recorded)
+                } else {
+                    "0".into()
+                };
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {:.6} | {:.6} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {:.6} | {:.6} | {} |\n",
                     s.name,
                     e.unit.symbol(),
                     s.n,
+                    dropped,
                     if s.deterministic { "yes" } else { "no" },
                     s.five_number.median,
                     s.mean,
@@ -245,6 +253,14 @@ impl ExperimentReport {
                 ));
             }
             out.push('\n');
+            if contaminated > 0 {
+                // Rule 4: failed runs are reported, not hidden.
+                out.push_str(&format!(
+                    "{contaminated} of {} operations lost samples to faults; their mean CIs \
+                     are withheld and the nonparametric median CIs above apply.\n\n",
+                    self.entries.len()
+                ));
+            }
         }
         if !self.speedups.is_empty() {
             out.push_str("## Speedups (Rule 1)\n\n");
@@ -354,6 +370,27 @@ mod tests {
         let text = ExperimentReport::new("empty").render();
         assert!(text.contains("=== empty ==="));
         assert!(text.contains("MISSING")); // environment entirely missing
+    }
+
+    #[test]
+    fn markdown_discloses_dropped_samples() {
+        let mut s = demo_summary();
+        s.samples_recorded = s.n + 3;
+        s.samples_dropped = 3;
+        s.dropped_nan = 2;
+        s.dropped_infinite = 1;
+        s.mean_ci_valid = false;
+        let md = ExperimentReport::new("dropped")
+            .entry(s, Unit::Seconds)
+            .render_markdown();
+        assert!(md.contains("| 3 of 53 |"), "{md}");
+        assert!(md.contains("1 of 1 operations lost samples"), "{md}");
+
+        let clean = ExperimentReport::new("clean")
+            .entry(demo_summary(), Unit::Seconds)
+            .render_markdown();
+        assert!(clean.contains("| 0 |"), "{clean}");
+        assert!(!clean.contains("lost samples"), "{clean}");
     }
 
     #[test]

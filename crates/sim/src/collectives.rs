@@ -15,10 +15,21 @@
 //! times across processes") prescribes ANOVA across the ranks before
 //! summarizing.
 
+use std::convert::Infallible;
+
 use crate::alloc::Allocation;
+use crate::fault::{FaultContext, SimFault};
 use crate::machine::MachineSpec;
 use crate::network::NetworkModel;
 use crate::rng::SimRng;
+
+/// Unwraps a `Result` whose error type is uninhabited.
+fn unwrap_infallible<T>(r: Result<T, Infallible>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
 
 /// Per-rank completion times of one collective invocation, nanoseconds
 /// from the (synchronized) start of the operation.
@@ -80,9 +91,38 @@ pub fn reduce(
     bytes: usize,
     rng: &mut SimRng,
 ) -> CollectiveOutcome {
+    let net = NetworkModel::new(machine);
+    unwrap_infallible(reduce_impl(machine, alloc, bytes, &mut |src, dst| {
+        Ok(net.transfer_ns(alloc.node_of[src], alloc.node_of[dst], bytes, rng))
+    }))
+}
+
+/// [`reduce`] on a machine with injected faults: any transfer hitting a
+/// crashed node or a dead link aborts the whole collective (as a real
+/// `MPI_Reduce` would).
+pub fn reduce_faulty(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Result<CollectiveOutcome, SimFault> {
+    let net = NetworkModel::new(machine);
+    reduce_impl(machine, alloc, bytes, &mut |src, dst| {
+        net.transfer_faulty_ns(alloc.node_of[src], alloc.node_of[dst], bytes, ctx, rng)
+    })
+}
+
+/// Shared reduce algorithm over an arbitrary (possibly fallible)
+/// rank-to-rank transfer function.
+fn reduce_impl<E>(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
+) -> Result<CollectiveOutcome, E> {
     let p = alloc.ranks();
     assert!(p >= 1, "reduce requires at least one rank");
-    let net = NetworkModel::new(machine);
     let pof2 = pow2_floor(p);
 
     // ready[r]: when rank r's partial value is available for the next step.
@@ -98,7 +138,7 @@ pub fn reduce(
         let mut fold_end = 0.0f64;
         for r in pof2..p {
             let dst = r - pof2;
-            let t = net.transfer_ns(alloc.node_of[r], alloc.node_of[dst], bytes, rng);
+            let t = transfer(r, dst)?;
             done[r] = ready[r] + send_exit_ns(machine);
             ready[dst] = ready[dst].max(ready[r] + t) + reduction_op_ns(bytes);
             fold_end = fold_end.max(ready[dst]);
@@ -115,7 +155,7 @@ pub fn reduce(
             if r & mask != 0 && done[r].is_nan() {
                 // Sender: transmit to r - mask and leave.
                 let dst = r - mask;
-                let t = net.transfer_ns(alloc.node_of[r], alloc.node_of[dst], bytes, rng);
+                let t = transfer(r, dst)?;
                 done[r] = ready[r] + send_exit_ns(machine);
                 // The receiver can merge once both its value and the
                 // message are there.
@@ -131,9 +171,9 @@ pub fn reduce(
             done[r] = ready[r];
         }
     }
-    CollectiveOutcome {
+    Ok(CollectiveOutcome {
         per_rank_done_ns: done,
-    }
+    })
 }
 
 /// Simulates one binomial-tree `MPI_Bcast` from root 0 with payload
@@ -144,9 +184,33 @@ pub fn broadcast(
     bytes: usize,
     rng: &mut SimRng,
 ) -> CollectiveOutcome {
+    let net = NetworkModel::new(machine);
+    unwrap_infallible(broadcast_impl(alloc, &mut |src, dst| {
+        Ok(net.transfer_ns(alloc.node_of[src], alloc.node_of[dst], bytes, rng))
+    }))
+}
+
+/// [`broadcast`] on a machine with injected faults.
+pub fn broadcast_faulty(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Result<CollectiveOutcome, SimFault> {
+    let net = NetworkModel::new(machine);
+    broadcast_impl(alloc, &mut |src, dst| {
+        net.transfer_faulty_ns(alloc.node_of[src], alloc.node_of[dst], bytes, ctx, rng)
+    })
+}
+
+/// Shared broadcast algorithm over an arbitrary transfer function.
+fn broadcast_impl<E>(
+    alloc: &Allocation,
+    transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
+) -> Result<CollectiveOutcome, E> {
     let p = alloc.ranks();
     assert!(p >= 1, "broadcast requires at least one rank");
-    let net = NetworkModel::new(machine);
     let mut have = vec![f64::NAN; p];
     have[0] = 0.0;
     // Highest power of two covering p.
@@ -162,16 +226,16 @@ pub fn broadcast(
             if !have[r].is_nan() && r & (mask - 1) == 0 && r & mask == 0 {
                 let dst = r + mask;
                 if dst < p && have[dst].is_nan() {
-                    let t = net.transfer_ns(alloc.node_of[r], alloc.node_of[dst], bytes, rng);
+                    let t = transfer(r, dst)?;
                     have[dst] = have[r] + t;
                 }
             }
         }
         mask >>= 1;
     }
-    CollectiveOutcome {
+    Ok(CollectiveOutcome {
         per_rank_done_ns: have,
-    }
+    })
 }
 
 /// Simulates one `MPI_Allreduce` as reduce-to-root followed by a
@@ -184,11 +248,29 @@ pub fn allreduce(
     rng: &mut SimRng,
 ) -> CollectiveOutcome {
     let red = reduce(machine, alloc, bytes, rng);
-    let root_done = red.per_rank_done_ns[0];
     let bcast = broadcast(machine, alloc, bytes, rng);
-    // Every rank finishes when the broadcast (starting at the root's
-    // reduce completion) reaches it — never earlier than its own reduce
-    // participation ended.
+    combine_allreduce(red, bcast)
+}
+
+/// [`allreduce`] on a machine with injected faults: fails if either the
+/// reduce or the broadcast phase hits a fault.
+pub fn allreduce_faulty(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Result<CollectiveOutcome, SimFault> {
+    let red = reduce_faulty(machine, alloc, bytes, ctx, rng)?;
+    let bcast = broadcast_faulty(machine, alloc, bytes, ctx, rng)?;
+    Ok(combine_allreduce(red, bcast))
+}
+
+/// Merges the reduce and broadcast phases of an allreduce: every rank
+/// finishes when the broadcast (starting at the root's reduce completion)
+/// reaches it — never earlier than its own reduce participation ended.
+fn combine_allreduce(red: CollectiveOutcome, bcast: CollectiveOutcome) -> CollectiveOutcome {
+    let root_done = red.per_rank_done_ns[0];
     let per_rank_done_ns = red
         .per_rank_done_ns
         .iter()
@@ -207,22 +289,47 @@ pub fn gather(
     bytes: usize,
     rng: &mut SimRng,
 ) -> CollectiveOutcome {
+    let net = NetworkModel::new(machine);
+    unwrap_infallible(gather_impl(machine, alloc, &mut |src, dst| {
+        Ok(net.transfer_ns(alloc.node_of[src], alloc.node_of[dst], bytes, rng))
+    }))
+}
+
+/// [`gather`] on a machine with injected faults.
+pub fn gather_faulty(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Result<CollectiveOutcome, SimFault> {
+    let net = NetworkModel::new(machine);
+    gather_impl(machine, alloc, &mut |src, dst| {
+        net.transfer_faulty_ns(alloc.node_of[src], alloc.node_of[dst], bytes, ctx, rng)
+    })
+}
+
+/// Shared gather algorithm over an arbitrary transfer function.
+fn gather_impl<E>(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
+) -> Result<CollectiveOutcome, E> {
     let p = alloc.ranks();
     assert!(p >= 1, "gather requires at least one rank");
-    let net = NetworkModel::new(machine);
     let mut done = vec![0.0f64; p];
     let mut root_busy_until = 0.0f64;
     for (r, done_r) in done.iter_mut().enumerate().skip(1) {
-        let arrival = net.transfer_ns(alloc.node_of[r], alloc.node_of[0], bytes, rng);
+        let arrival = transfer(r, 0)?;
         *done_r = send_exit_ns(machine);
         // The root processes arrivals one at a time.
         let recv_cost = machine.network.injection_ns * 0.25;
         root_busy_until = root_busy_until.max(arrival) + recv_cost;
     }
     done[0] = root_busy_until;
-    CollectiveOutcome {
+    Ok(CollectiveOutcome {
         per_rank_done_ns: done,
-    }
+    })
 }
 
 /// Simulates one dissemination `MPI_Barrier`.
@@ -231,24 +338,49 @@ pub fn gather(
 /// `(r − 2^k) mod p`; after ⌈log₂ p⌉ rounds every rank has transitively
 /// heard from every other.
 pub fn barrier(machine: &MachineSpec, alloc: &Allocation, rng: &mut SimRng) -> CollectiveOutcome {
+    let net = NetworkModel::new(machine);
+    unwrap_infallible(barrier_impl(alloc, &mut |src, dst| {
+        Ok(net.transfer_ns(alloc.node_of[src], alloc.node_of[dst], 1, rng))
+    }))
+}
+
+/// [`barrier`] on a machine with injected faults: a barrier cannot
+/// complete once any participant is unreachable.
+pub fn barrier_faulty(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Result<CollectiveOutcome, SimFault> {
+    let net = NetworkModel::new(machine);
+    barrier_impl(alloc, &mut |src, dst| {
+        net.transfer_faulty_ns(alloc.node_of[src], alloc.node_of[dst], 1, ctx, rng)
+    })
+}
+
+/// Shared dissemination-barrier algorithm over an arbitrary transfer
+/// function.
+fn barrier_impl<E>(
+    alloc: &Allocation,
+    transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
+) -> Result<CollectiveOutcome, E> {
     let p = alloc.ranks();
     assert!(p >= 1, "barrier requires at least one rank");
-    let net = NetworkModel::new(machine);
     let mut ready = vec![0.0f64; p];
     let mut step = 1usize;
     while step < p {
         let mut next = vec![0.0f64; p];
         for r in 0..p {
             let from = (r + p - step % p) % p;
-            let t = net.transfer_ns(alloc.node_of[from], alloc.node_of[r], 1, rng);
+            let t = transfer(from, r)?;
             next[r] = ready[r].max(ready[from] + t);
         }
         ready = next;
         step <<= 1;
     }
-    CollectiveOutcome {
+    Ok(CollectiveOutcome {
         per_rank_done_ns: ready,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -454,6 +586,70 @@ mod tests {
         assert_ne!(t1, t2);
         // Magnitudes in the paper's Figure 5 ballpark (µs, not ms).
         assert!(t1 > 2_000.0 && t1 < 100_000.0, "t1 = {t1}");
+    }
+
+    #[test]
+    fn faulty_reduce_without_faults_matches_plain() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let m = MachineSpec::piz_daint();
+        let root = SimRng::new(13);
+        let mut rng_plain = root.fork("collective");
+        let mut rng_faulty = root.fork("collective");
+        let a = Allocation::one_rank_per_node(&m, 32, AllocationPolicy::Packed, &mut rng_plain);
+        let a2 = Allocation::one_rank_per_node(&m, 32, AllocationPolicy::Packed, &mut rng_faulty);
+        let plain = reduce(&m, &a, 8, &mut rng_plain);
+        let mut ctx = FaultContext::new(&FaultPlan::none(), m.nodes, &root);
+        let faulty = reduce_faulty(&m, &a2, 8, &mut ctx, &mut rng_faulty).unwrap();
+        assert_eq!(plain, faulty);
+    }
+
+    #[test]
+    fn crashed_root_fails_the_collective() {
+        use crate::fault::{FaultContext, FaultPlan, SimFault};
+        let (m, a, mut rng) = quiet_setup(8);
+        let plan = FaultPlan {
+            node_crash_prob: 1.0,
+            crash_window_ns: 0.0,
+            ..FaultPlan::none()
+        };
+        let mut ctx = FaultContext::new(&plan, m.nodes, &SimRng::new(3));
+        // The crash is at t = 0, so the first transfer already fails.
+        let out = reduce_faulty(&m, &a, 8, &mut ctx, &mut rng);
+        assert!(matches!(out, Err(SimFault::NodeCrashed { .. })));
+    }
+
+    #[test]
+    fn straggler_inflates_collective_completion() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let (m, a, mut rng) = quiet_setup(16);
+        let healthy = reduce(&m, &a, 8, &mut rng);
+        let plan = FaultPlan {
+            straggler_prob: 1.0,
+            straggler_slowdown: 4.0,
+            ..FaultPlan::none()
+        };
+        let (m2, a2, mut rng2) = quiet_setup(16);
+        let mut ctx = FaultContext::new(&plan, m2.nodes, &SimRng::new(3));
+        let slowed = reduce_faulty(&m2, &a2, 8, &mut ctx, &mut rng2).unwrap();
+        assert!(
+            slowed.max_ns() > healthy.max_ns() * 2.0,
+            "healthy {} slowed {}",
+            healthy.max_ns(),
+            slowed.max_ns()
+        );
+    }
+
+    #[test]
+    fn all_faulty_variants_succeed_on_healthy_plan() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let (m, a, mut rng) = quiet_setup(9);
+        let root = SimRng::new(17);
+        let mut ctx = FaultContext::new(&FaultPlan::none(), m.nodes, &root);
+        assert!(reduce_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
+        assert!(broadcast_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
+        assert!(allreduce_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
+        assert!(gather_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
+        assert!(barrier_faulty(&m, &a, &mut ctx, &mut rng).is_ok());
     }
 
     #[test]

@@ -55,6 +55,16 @@ impl DriftingClock {
     pub fn skew_to(&self, other: &DriftingClock, global_ns: f64) -> f64 {
         self.local_from_global(global_ns) - other.local_from_global(global_ns)
     }
+
+    /// This clock after an injected step change of `jump_ns` (e.g. an NTP
+    /// correction or a fault-injected clock jump): all subsequent local
+    /// readings shift by the jump.
+    pub fn with_jump(&self, jump_ns: f64) -> DriftingClock {
+        DriftingClock {
+            offset_ns: self.offset_ns + jump_ns,
+            drift: self.drift,
+        }
+    }
 }
 
 /// The local clocks of a whole process group.
@@ -93,6 +103,34 @@ impl ClockEnsemble {
     /// The clock of process `rank`.
     pub fn clock(&self, rank: usize) -> &DriftingClock {
         &self.clocks[rank]
+    }
+
+    /// The ensemble as observed at global time `at_ns` under a fault
+    /// schedule: every process on a node whose scheduled clock jump has
+    /// already fired reads a clock shifted by that jump. `node_of[rank]`
+    /// maps each process to its node.
+    pub fn with_fault_jumps(
+        &self,
+        schedule: &crate::fault::FaultSchedule,
+        node_of: &[usize],
+        at_ns: f64,
+    ) -> ClockEnsemble {
+        assert_eq!(
+            node_of.len(),
+            self.clocks.len(),
+            "node_of must map every rank"
+        );
+        ClockEnsemble {
+            clocks: self
+                .clocks
+                .iter()
+                .zip(node_of)
+                .map(|(clock, &node)| match schedule.clock_jump_of(node) {
+                    Some(jump) if jump.at_ns <= at_ns => clock.with_jump(jump.jump_ns),
+                    _ => *clock,
+                })
+                .collect(),
+        }
     }
 
     /// Largest pairwise skew across the ensemble at a global instant.
@@ -184,6 +222,40 @@ mod tests {
     fn perfect_ensemble_has_zero_skew() {
         let e = ClockEnsemble::perfect(8);
         assert_eq!(e.max_skew_ns(1e9), 0.0);
+    }
+
+    #[test]
+    fn jump_shifts_all_later_readings() {
+        let c = DriftingClock::perfect().with_jump(500.0);
+        assert_eq!(c.local_from_global(0.0), 500.0);
+        assert_eq!(c.local_from_global(1000.0), 1500.0);
+    }
+
+    #[test]
+    fn fault_jumps_apply_only_after_their_instant() {
+        use crate::fault::{FaultPlan, FaultSchedule};
+        use crate::rng::SimRng;
+        let plan = FaultPlan {
+            clock_jump_prob: 1.0,
+            clock_jump_ns: 1_000.0,
+            clock_jump_window_ns: 100.0,
+            ..FaultPlan::none()
+        };
+        let schedule = FaultSchedule::compile(&plan, 4, &SimRng::new(5));
+        let ensemble = ClockEnsemble::perfect(4);
+        let node_of = [0usize, 1, 2, 3];
+        // Before any jump fires the ensemble is unchanged.
+        let before = ensemble.with_fault_jumps(&schedule, &node_of, -1.0);
+        assert_eq!(before.max_skew_ns(0.0), 0.0);
+        // After the window every node has jumped by ±1000 ns; skew is
+        // nonzero unless every jump happened to share a direction.
+        let after = ensemble.with_fault_jumps(&schedule, &node_of, 200.0);
+        let readings: Vec<f64> = (0..4)
+            .map(|r| after.clock(r).local_from_global(0.0))
+            .collect();
+        for r in &readings {
+            assert_eq!(r.abs(), 1_000.0);
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   and dissemination barrier with per-rank completion times (Figures 5
 //!   and 6),
 //! - [`pingpong`]: two-node latency benchmark (Figures 2, 3, 4 and 7(c)),
+//! - [`fault`]: deterministic fault injection (node crashes, stragglers,
+//!   flaky links, clock jumps) for resilience experiments,
 //! - [`hpl`]: an HPL-like compute-bound workload (Figure 1),
 //! - [`pi`]: the π-digits workload with a serial fraction and a final
 //!   reduction (Figure 7(a,b)),
@@ -39,6 +41,7 @@ pub mod alloc;
 pub mod bsp;
 pub mod collectives;
 pub mod drift;
+pub mod fault;
 pub mod hpl;
 pub mod machine;
 pub mod network;
@@ -48,5 +51,6 @@ pub mod pingpong;
 pub mod rng;
 pub mod topology;
 
+pub use fault::{FaultContext, FaultPlan, FaultSchedule, SimFault};
 pub use machine::{MachineSpec, NetworkSpec, NodeSpec};
 pub use rng::SimRng;

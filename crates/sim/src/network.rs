@@ -11,6 +11,7 @@
 //! implementation exhibits. Noise is applied on top by callers through the
 //! machine's [`crate::noise::NoiseProfile`].
 
+use crate::fault::{FaultContext, SimFault};
 use crate::machine::MachineSpec;
 use crate::noise::NoiseProfile;
 use crate::rng::SimRng;
@@ -55,6 +56,49 @@ impl<'m> NetworkModel<'m> {
     pub fn transfer_ns(&self, src: usize, dst: usize, bytes: usize, rng: &mut SimRng) -> f64 {
         let base = self.base_transfer_ns(src, dst, bytes);
         self.machine.noise.perturb(base, rng)
+    }
+
+    /// Noisy transfer time on a machine with injected faults.
+    ///
+    /// Checks the fault context before and during the transfer:
+    /// a crashed endpoint fails the transfer outright; a straggler
+    /// endpoint multiplies its cost; a flaky link pays a retransmit
+    /// penalty per dropped packet and fails once the retransmit budget
+    /// is exhausted. Noise draws still come from `rng` (the base stream),
+    /// while link-drop coins come from the context's dedicated stream, so
+    /// a transfer experiencing zero fault events costs exactly what
+    /// [`NetworkModel::transfer_ns`] would report. On success the
+    /// context's simulation clock advances by the total cost.
+    pub fn transfer_faulty_ns(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        ctx: &mut FaultContext,
+        rng: &mut SimRng,
+    ) -> Result<f64, SimFault> {
+        for node in [src, dst] {
+            if let Some(fault) = ctx.crashed(node) {
+                return Err(fault);
+            }
+        }
+        let mut t = self.transfer_ns(src, dst, bytes, rng);
+        let schedule = ctx.schedule();
+        let slowdown = schedule.slowdown_of(src).max(schedule.slowdown_of(dst));
+        t *= slowdown;
+        let max_retransmits = schedule.plan().max_retransmits;
+        let retransmit_penalty_ns = schedule.plan().retransmit_penalty_ns;
+        let mut drops = 0u32;
+        while ctx.link_drop_coin() {
+            drops += 1;
+            if drops > max_retransmits {
+                return Err(SimFault::LinkFailed { src, dst, drops });
+            }
+            // Resend: pay the penalty plus another (deterministic) transfer.
+            t += retransmit_penalty_ns + self.base_transfer_ns(src, dst, bytes) * slowdown;
+        }
+        ctx.advance(t);
+        Ok(t)
     }
 
     /// Noisy transfer time under an overridden noise profile (used by the
@@ -132,6 +176,114 @@ mod tests {
         let b = net.transfer_ns(0, 1, 64, &mut rng);
         assert_eq!(a, b);
         assert_eq!(a, net.base_transfer_ns(0, 1, 64));
+    }
+
+    #[test]
+    fn faultless_context_matches_infallible_path() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let m = MachineSpec::piz_dora();
+        let net = NetworkModel::new(&m);
+        let root = SimRng::new(99);
+        let mut rng_a = root.fork("transfers");
+        let mut rng_b = root.fork("transfers");
+        let mut ctx = FaultContext::new(&FaultPlan::none(), m.nodes, &root);
+        for _ in 0..100 {
+            let plain = net.transfer_ns(0, 18, 64, &mut rng_a);
+            let faulty = net
+                .transfer_faulty_ns(0, 18, 64, &mut ctx, &mut rng_b)
+                .unwrap();
+            assert_eq!(plain, faulty);
+        }
+        assert!(ctx.now_ns() > 0.0);
+    }
+
+    #[test]
+    fn crashed_node_fails_transfers() {
+        use crate::fault::{FaultContext, FaultPlan, SimFault};
+        let m = MachineSpec::test_machine(4);
+        let net = NetworkModel::new(&m);
+        let root = SimRng::new(1);
+        let plan = FaultPlan {
+            node_crash_prob: 1.0,
+            crash_window_ns: 0.0, // crash immediately
+            ..FaultPlan::none()
+        };
+        let mut ctx = FaultContext::new(&plan, 4, &root);
+        let mut rng = root.fork("transfers");
+        let err = net.transfer_faulty_ns(0, 1, 64, &mut ctx, &mut rng);
+        assert!(matches!(err, Err(SimFault::NodeCrashed { .. })));
+    }
+
+    #[test]
+    fn straggler_scales_transfer_cost() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let m = MachineSpec::test_machine(4);
+        let net = NetworkModel::new(&m);
+        let root = SimRng::new(1);
+        let plan = FaultPlan {
+            straggler_prob: 1.0,
+            straggler_slowdown: 3.0,
+            ..FaultPlan::none()
+        };
+        let mut ctx = FaultContext::new(&plan, 4, &root);
+        let mut rng = root.fork("transfers");
+        let t = net
+            .transfer_faulty_ns(0, 1, 64, &mut ctx, &mut rng)
+            .unwrap();
+        assert!((t - 3.0 * net.base_transfer_ns(0, 1, 64)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_link_drop_exhausts_retransmit_budget() {
+        use crate::fault::{FaultContext, FaultPlan, SimFault};
+        let m = MachineSpec::test_machine(4);
+        let net = NetworkModel::new(&m);
+        let root = SimRng::new(1);
+        let plan = FaultPlan {
+            link_drop_prob: 1.0,
+            retransmit_penalty_ns: 100.0,
+            max_retransmits: 3,
+            ..FaultPlan::none()
+        };
+        let mut ctx = FaultContext::new(&plan, 4, &root);
+        let mut rng = root.fork("transfers");
+        let err = net.transfer_faulty_ns(0, 1, 64, &mut ctx, &mut rng);
+        assert_eq!(
+            err,
+            Err(SimFault::LinkFailed {
+                src: 0,
+                dst: 1,
+                drops: 4
+            })
+        );
+    }
+
+    #[test]
+    fn occasional_drops_add_retransmit_cost() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let m = MachineSpec::test_machine(4);
+        let net = NetworkModel::new(&m);
+        let root = SimRng::new(5);
+        let plan = FaultPlan {
+            link_drop_prob: 0.3,
+            retransmit_penalty_ns: 5_000.0,
+            max_retransmits: 10,
+            ..FaultPlan::none()
+        };
+        let mut ctx = FaultContext::new(&plan, 4, &root);
+        let mut rng = root.fork("transfers");
+        let base = net.base_transfer_ns(0, 1, 64);
+        let mut saw_retransmit = false;
+        for _ in 0..200 {
+            let t = net
+                .transfer_faulty_ns(0, 1, 64, &mut ctx, &mut rng)
+                .unwrap();
+            assert!(t >= base - 1e-9);
+            if t > base + 4_999.0 {
+                saw_retransmit = true;
+            }
+        }
+        assert!(saw_retransmit, "30% drop rate never fired in 200 transfers");
     }
 
     #[test]

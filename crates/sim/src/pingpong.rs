@@ -8,6 +8,7 @@
 //! what makes the paper's advice to discard the first measurement
 //! observable in the simulation.
 
+use crate::fault::{FaultContext, SimFault};
 use crate::machine::MachineSpec;
 use crate::network::NetworkModel;
 use crate::rng::SimRng;
@@ -66,6 +67,61 @@ pub fn pingpong_latencies_ns(
         if i < config.warmup_iterations {
             sample *= config.warmup_factor;
         }
+        out.push(sample);
+    }
+    out
+}
+
+/// One-way latencies on a machine with injected faults: each sample is
+/// either a latency in nanoseconds or the fault that destroyed it.
+///
+/// Per-sample fault semantics:
+/// - a crashed endpoint fails the sample (and, since crashes are
+///   permanent, every later sample too),
+/// - a dead link (drops beyond the retransmit budget) fails just that
+///   sample — the connection is re-established for the next one,
+/// - a clock jump on either node *during* the round trip makes the timer
+///   reading unusable, so the sample reports [`SimFault::ClockJumped`],
+/// - stragglers and surviving retransmits inflate the cost but keep the
+///   sample valid.
+///
+/// Fault coins come from the context's dedicated stream, so a run whose
+/// samples experience zero fault events is bit-identical to
+/// [`pingpong_latencies_ns`] under the same `rng`.
+pub fn pingpong_latencies_faulty_ns(
+    machine: &MachineSpec,
+    config: &PingPongConfig,
+    ctx: &mut FaultContext,
+    rng: &mut SimRng,
+) -> Vec<Result<f64, SimFault>> {
+    let net = NetworkModel::new(machine);
+    let mut out = Vec::with_capacity(config.samples);
+    for i in 0..config.samples {
+        let started_ns = ctx.now_ns();
+        let fwd = net.transfer_faulty_ns(config.node_a, config.node_b, config.bytes, ctx, rng);
+        let bwd = match fwd {
+            Ok(_) => net.transfer_faulty_ns(config.node_b, config.node_a, config.bytes, ctx, rng),
+            Err(e) => Err(e),
+        };
+        let sample = match (fwd, bwd) {
+            (Ok(f), Ok(b)) => {
+                let mut s = 0.5 * (f + b);
+                if i < config.warmup_iterations {
+                    s *= config.warmup_factor;
+                }
+                // A clock jump inside the measurement window corrupts the
+                // timer reading for this sample.
+                match ctx.jump_crossing([config.node_a, config.node_b], started_ns, ctx.now_ns()) {
+                    Some((node, jump)) => Err(SimFault::ClockJumped {
+                        node,
+                        at_ns: jump.at_ns,
+                        jump_ns: jump.jump_ns,
+                    }),
+                    None => Ok(s),
+                }
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        };
         out.push(sample);
     }
     out
@@ -176,6 +232,74 @@ mod tests {
         let small = pingpong_latencies_ns(&m, &small_cfg, &mut rng);
         let big = pingpong_latencies_ns(&m, &big_cfg, &mut rng);
         assert!(big[0] > small[0]);
+    }
+
+    #[test]
+    fn faultless_run_matches_plain_bit_for_bit() {
+        use crate::fault::{FaultContext, FaultPlan};
+        let m = MachineSpec::piz_dora();
+        let cfg = PingPongConfig::paper_64b(500);
+        let root = SimRng::new(7);
+        let mut rng_plain = root.fork("pingpong");
+        let mut rng_faulty = root.fork("pingpong");
+        let plain = pingpong_latencies_ns(&m, &cfg, &mut rng_plain);
+        let mut ctx = FaultContext::new(&FaultPlan::none(), m.nodes, &root);
+        let faulty = pingpong_latencies_faulty_ns(&m, &cfg, &mut ctx, &mut rng_faulty);
+        assert_eq!(plain.len(), faulty.len());
+        for (p, f) in plain.iter().zip(&faulty) {
+            assert_eq!(Ok(*p), *f);
+        }
+    }
+
+    #[test]
+    fn crash_kills_the_tail_of_the_run() {
+        use crate::fault::{FaultContext, FaultPlan, SimFault};
+        let m = MachineSpec::test_machine(32);
+        let cfg = PingPongConfig::paper_64b(100);
+        let plan = FaultPlan {
+            node_crash_prob: 1.0,
+            // Transfers are ~1 µs; crash inside the first ~50 samples.
+            crash_window_ns: 100_000.0,
+            ..FaultPlan::none()
+        };
+        let root = SimRng::new(3);
+        let mut ctx = FaultContext::new(&plan, m.nodes, &root);
+        let mut rng = root.fork("pingpong");
+        let xs = pingpong_latencies_faulty_ns(&m, &cfg, &mut ctx, &mut rng);
+        let first_err = xs.iter().position(|s| s.is_err());
+        let first_err = first_err.expect("a certain crash must eventually fail samples");
+        // Once crashed, every later sample fails too.
+        for (i, s) in xs.iter().enumerate().skip(first_err) {
+            assert!(
+                matches!(s, Err(SimFault::NodeCrashed { .. })),
+                "sample {i} after crash: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_jump_corrupts_exactly_one_sample() {
+        use crate::fault::{FaultContext, FaultPlan, SimFault};
+        let m = MachineSpec::test_machine(32);
+        let cfg = PingPongConfig::paper_64b(200);
+        let plan = FaultPlan {
+            clock_jump_prob: 1.0,
+            clock_jump_ns: 1e6,
+            clock_jump_window_ns: 100_000.0,
+            ..FaultPlan::none()
+        };
+        let root = SimRng::new(11);
+        let mut ctx = FaultContext::new(&plan, m.nodes, &root);
+        let mut rng = root.fork("pingpong");
+        let xs = pingpong_latencies_faulty_ns(&m, &cfg, &mut ctx, &mut rng);
+        let jumps = xs
+            .iter()
+            .filter(|s| matches!(s, Err(SimFault::ClockJumped { .. })))
+            .count();
+        // Both endpoints have one scheduled jump inside the run window;
+        // each corrupts at most one sample.
+        assert!((1..=2).contains(&jumps), "jumps = {jumps}");
+        assert!(xs.iter().filter(|s| s.is_ok()).count() >= 198);
     }
 
     #[test]

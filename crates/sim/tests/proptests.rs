@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use scibench_sim::alloc::{Allocation, AllocationPolicy};
 use scibench_sim::collectives::{barrier, broadcast, reduce};
 use scibench_sim::drift::DriftingClock;
+use scibench_sim::fault::{FaultContext, FaultPlan, FaultSchedule};
 use scibench_sim::machine::MachineSpec;
 use scibench_sim::network::NetworkModel;
 use scibench_sim::noise::NoiseProfile;
@@ -181,5 +182,62 @@ proptest! {
         // decreases with p.
         let c = PiConfig::paper_figure7();
         prop_assert!(model_time_s(&c, p + 1) < model_time_s(&c, p));
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic(
+        rate in 0.0f64..=1.0,
+        nodes in 1usize..256,
+        seed in 0u64..10_000,
+    ) {
+        let plan = FaultPlan::with_failure_rate(rate);
+        let a = FaultSchedule::compile(&plan, nodes, &SimRng::new(seed));
+        let b = FaultSchedule::compile(&plan, nodes, &SimRng::new(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_schedule_counts_are_bounded(
+        rate in 0.0f64..=1.0,
+        nodes in 1usize..256,
+        seed in 0u64..10_000,
+    ) {
+        let plan = FaultPlan::with_failure_rate(rate);
+        let s = FaultSchedule::compile(&plan, nodes, &SimRng::new(seed));
+        prop_assert_eq!(s.nodes(), nodes);
+        prop_assert!(s.crashed_nodes() <= nodes);
+        prop_assert!(s.straggler_nodes() <= nodes);
+        prop_assert!(s.clock_jump_nodes() <= nodes);
+        for node in 0..nodes {
+            if let Some(t) = s.crash_at_ns(node) {
+                prop_assert!(t >= 0.0 && t < plan.crash_window_ns);
+            }
+            prop_assert!(s.slowdown_of(node) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_plans_are_trivial_for_any_seed(nodes in 1usize..256, seed in 0u64..10_000) {
+        let plan = FaultPlan::with_failure_rate(0.0);
+        prop_assert!(plan.is_none());
+        let s = FaultSchedule::compile(&plan, nodes, &SimRng::new(seed));
+        prop_assert!(s.is_trivial());
+        prop_assert_eq!(s.crashed_nodes(), 0);
+        prop_assert_eq!(s.straggler_nodes(), 0);
+        prop_assert_eq!(s.clock_jump_nodes(), 0);
+    }
+
+    #[test]
+    fn fault_context_coins_are_deterministic(
+        rate in 0.0f64..=1.0,
+        nodes in 1usize..64,
+        seed in 0u64..10_000,
+    ) {
+        let plan = FaultPlan::with_failure_rate(rate);
+        let flips = |s: u64| -> Vec<bool> {
+            let mut ctx = FaultContext::new(&plan, nodes, &SimRng::new(s));
+            (0..32).map(|_| ctx.link_drop_coin()).collect()
+        };
+        prop_assert_eq!(flips(seed), flips(seed));
     }
 }

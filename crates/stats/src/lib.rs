@@ -56,6 +56,7 @@ pub mod qq;
 pub mod quantile;
 pub mod quantreg;
 pub mod rank;
+pub mod sanitize;
 pub mod special;
 pub mod summary;
 

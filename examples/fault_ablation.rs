@@ -1,0 +1,123 @@
+//! Fault ablation: how much injected failure can a campaign absorb
+//! before its summaries drift?
+//!
+//! Sweeps `FaultPlan::with_failure_rate` over a ping-pong transfer
+//! campaign run through the *resilient* runner. Each rate reports the
+//! campaign health (Rule 4: failed runs are disclosed, not hidden) and
+//! the surviving median CIs, which are checked for overlap against the
+//! fault-free baseline — the criterion the paper's Rule 8 would apply
+//! before claiming two configurations differ.
+//!
+//! Run with: `cargo run --example fault_ablation`
+
+use scibench::experiment::{
+    run_campaign_resilient, CampaignConfig, Design, Factor, MeasureFailure, MeasurementPlan,
+    RetryPolicy, StoppingRule,
+};
+use scibench_sim::fault::{FaultContext, FaultPlan};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::network::NetworkModel;
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci::ConfidenceInterval;
+
+fn main() {
+    let machine = MachineSpec::piz_dora();
+    let net = NetworkModel::new(&machine);
+    let design = Design::new(vec![Factor::numeric("bytes", &[64.0, 4096.0])]);
+    let plan = MeasurementPlan::new("pingpong").stopping(StoppingRule::FixedCount(500));
+    let policy = RetryPolicy::default().attempts(4).contamination(0.05);
+    let rates = [0.0, 0.1, 0.25, 0.5, 1.0];
+
+    println!(
+        "fault ablation on `{}`: 500-sample ping-pong campaign per rate, seed 42\n",
+        machine.name
+    );
+
+    let mut baseline: Vec<(String, ConfidenceInterval)> = Vec::new();
+    let mut stable_up_to: Option<f64> = None;
+    for &rate in &rates {
+        let fault_plan = FaultPlan::with_failure_rate(rate);
+        let attempt = run_campaign_resilient(
+            &design,
+            &plan,
+            &CampaignConfig {
+                seed: 42,
+                threads: 2,
+            },
+            &policy,
+            |point, rng| {
+                let bytes: usize = point
+                    .level(0)
+                    .parse::<f64>()
+                    .map_err(|e| MeasureFailure::Failed(e.to_string()))?
+                    as usize;
+                // One fault context per round trip, seeded from the
+                // attempt's own stream: deterministic at any thread count.
+                let ctx_seed = (rng.uniform() * (1u64 << 53) as f64) as u64;
+                let mut ctx = FaultContext::new(&fault_plan, machine.nodes, &SimRng::new(ctx_seed));
+                // Start at a random instant of the crash window so that
+                // scheduled node crashes can already be live — a context
+                // at t = 0 would never reach its crash time within one
+                // microsecond-scale round trip.
+                ctx.advance(rng.uniform() * 2.0 * fault_plan.crash_window_ns);
+                let ping = net.transfer_faulty_ns(0, 1, bytes, &mut ctx, rng)?;
+                let pong = net.transfer_faulty_ns(1, 0, bytes, &mut ctx, rng)?;
+                Ok(ping + pong)
+            },
+        );
+        // The runner degrades gracefully: a fully failed campaign is a
+        // typed error carrying its health disclosure, not a panic.
+        let result = match attempt {
+            Ok(result) => result,
+            Err(err) => {
+                println!("failure rate {rate:>4}: {err}\n");
+                continue;
+            }
+        };
+
+        println!("failure rate {rate:>4}: {}", result.health.render());
+        for (point, summary) in result.summaries(0.95).expect("surviving summaries") {
+            let ci = summary.median_ci.expect("median CI always present");
+            let verdict = if rate == 0.0 {
+                baseline.push((point.level(0).to_owned(), ci));
+                "baseline".to_owned()
+            } else {
+                match baseline.iter().find(|(b, _)| *b == point.level(0)) {
+                    Some((_, base)) => {
+                        let overlaps = ci.lower <= base.upper && base.lower <= ci.upper;
+                        if overlaps {
+                            "stable: median CI overlaps fault-free baseline".to_owned()
+                        } else {
+                            "DRIFTED: median CI no longer overlaps baseline".to_owned()
+                        }
+                    }
+                    None => "no baseline".to_owned(),
+                }
+            };
+            println!(
+                "  {:>5} B: n={} (dropped {}), median {:.1} ns, 95% CI [{:.1}, {:.1}] -> {}",
+                point.level(0),
+                summary.n,
+                summary.samples_dropped,
+                summary.five_number.median,
+                ci.lower,
+                ci.upper,
+                verdict
+            );
+        }
+        let all_stable = result.health.points_completed == result.health.points_total;
+        if all_stable && result.health.points_timed_out == 0 {
+            stable_up_to = Some(rate);
+        }
+        println!();
+    }
+
+    match stable_up_to {
+        Some(rate) => println!(
+            "conclusion: every design point survived up to failure rate {rate}; \
+             beyond it, quarantined points and withheld mean CIs mark the limit \
+             of graceful degradation."
+        ),
+        None => println!("conclusion: no rate completed all points — tighten the retry policy."),
+    }
+}

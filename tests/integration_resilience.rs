@@ -1,0 +1,283 @@
+//! End-to-end resilience: the simulator's fault substrate driving the
+//! resilient campaign runner, with graceful statistical degradation of
+//! the resulting summaries (Rules 4 and 6: disclose what was lost and
+//! fall back to nonparametric statements when the data demand it).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use scibench::experiment::design::{Design, Factor, RunPoint};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::experiment::resilience::{
+    run_campaign_resilient, CampaignError, MeasureFailure, PointFate, RetryPolicy,
+};
+use scibench::experiment::CampaignConfig;
+use scibench_sim::fault::{FaultContext, FaultPlan};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::network::NetworkModel;
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci::ConfidenceInterval;
+
+fn fixed_plan(n: usize) -> MeasurementPlan {
+    MeasurementPlan::new("pingpong").stopping(StoppingRule::FixedCount(n))
+}
+
+/// One simulated ping-pong round trip under a fault plan. Every random
+/// decision flows from the per-sample `rng` handed in by the runner, so
+/// the measurement is a pure function of (point, attempt, sample).
+fn faulty_pingpong(
+    net: &NetworkModel,
+    nodes: usize,
+    plan: &FaultPlan,
+    bytes: usize,
+    rng: &mut SimRng,
+) -> Result<f64, MeasureFailure> {
+    let ctx_seed = (rng.uniform() * (1u64 << 53) as f64) as u64;
+    let mut ctx = FaultContext::new(plan, nodes, &SimRng::new(ctx_seed));
+    // Start somewhere inside (or past) the crash window so scheduled
+    // crashes can actually fire during the microsecond-scale transfer.
+    ctx.advance(rng.uniform() * 2.0 * plan.crash_window_ns);
+    let ping = net.transfer_faulty_ns(0, 1, bytes, &mut ctx, rng)?;
+    let pong = net.transfer_faulty_ns(1, 0, bytes, &mut ctx, rng)?;
+    Ok(ping + pong)
+}
+
+fn bytes_of(point: &RunPoint) -> usize {
+    point.level(0).parse::<f64>().expect("numeric level") as usize
+}
+
+fn bytes_design() -> Design {
+    Design::new(vec![Factor::numeric("bytes", &[64.0, 4096.0])])
+}
+
+fn run_with_rate(
+    rate: f64,
+    threads: usize,
+    samples: usize,
+) -> Result<scibench::experiment::resilience::ResilientCampaignResult, CampaignError> {
+    let machine = MachineSpec::piz_dora();
+    let net = NetworkModel::new(&machine);
+    let fault_plan = FaultPlan::with_failure_rate(rate);
+    run_campaign_resilient(
+        &bytes_design(),
+        &fixed_plan(samples),
+        &CampaignConfig { seed: 42, threads },
+        &RetryPolicy::default().attempts(4).contamination(0.1),
+        |point, rng| faulty_pingpong(&net, machine.nodes, &fault_plan, bytes_of(point), rng),
+    )
+}
+
+#[test]
+fn faulty_campaign_completes_and_reports_health() {
+    let result = run_with_rate(0.5, 2, 300).expect("campaign must survive a 0.5 failure rate");
+    let health = &result.health;
+    assert_eq!(health.points_total, 2);
+    assert!(health.points_completed >= 1);
+    assert!(
+        health.samples_dropped > 0,
+        "a 0.5 failure rate must cost some samples: {}",
+        health.render()
+    );
+    assert_eq!(
+        health.points_completed + health.points_timed_out + health.points_abandoned,
+        health.points_total
+    );
+    // Completed-but-contaminated points degrade gracefully: usable
+    // sample count shrinks, the mean CI is withheld, the median CI stays.
+    for (_, summary) in result.summaries(0.95).expect("summaries") {
+        assert_eq!(
+            summary.n + summary.samples_dropped,
+            summary.samples_recorded
+        );
+        if summary.samples_dropped > 0 {
+            assert!(!summary.mean_ci_valid);
+            assert!(summary.median_ci.is_some());
+            assert!(summary.render().contains("contamination"));
+        }
+    }
+}
+
+#[test]
+fn surviving_summaries_match_fault_free_within_ci() {
+    let clean = run_with_rate(0.0, 1, 300).expect("fault-free campaign");
+    assert!(clean.health.pristine(), "{}", clean.health.render());
+    let faulty = run_with_rate(0.25, 1, 300).expect("mildly faulty campaign");
+
+    let overlap =
+        |a: &ConfidenceInterval, b: &ConfidenceInterval| a.lower <= b.upper && b.lower <= a.upper;
+    let clean_summaries = clean.summaries(0.95).unwrap();
+    for (point, faulty_summary) in faulty.summaries(0.95).unwrap() {
+        let (_, clean_summary) = clean_summaries
+            .iter()
+            .find(|(p, _)| *p == point)
+            .expect("point completed in both campaigns");
+        let a = clean_summary.median_ci.as_ref().expect("clean median CI");
+        let b = faulty_summary.median_ci.as_ref().expect("faulty median CI");
+        assert!(
+            overlap(a, b),
+            "median CIs drifted apart at {point:?}: [{}, {}] vs [{}, {}]",
+            a.lower,
+            a.upper,
+            b.lower,
+            b.upper
+        );
+    }
+}
+
+#[test]
+fn fault_schedules_identical_across_thread_counts() {
+    let one = run_with_rate(0.5, 1, 200).expect("threads=1");
+    let eight = run_with_rate(0.5, 8, 200).expect("threads=8");
+    assert_eq!(one.health, eight.health);
+    assert_eq!(one.runs.len(), eight.runs.len());
+    for (a, b) in one.runs.iter().zip(eight.runs.iter()) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.fate, b.fate);
+        match (&a.outcome, &b.outcome) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.samples.len(), y.samples.len());
+                // NaN placeholders defeat `==`; compare bit patterns.
+                for (sa, sb) in x.samples.iter().zip(y.samples.iter()) {
+                    assert_eq!(sa.to_bits(), sb.to_bits());
+                }
+            }
+            (None, None) => {}
+            _ => panic!("outcome presence differs at {:?}", a.point),
+        }
+    }
+}
+
+#[test]
+fn transient_faults_are_retried_to_success() {
+    let calls = AtomicUsize::new(0);
+    let result = run_campaign_resilient(
+        &Design::new(vec![Factor::new("only", &["x"])]),
+        &fixed_plan(10),
+        &CampaignConfig {
+            seed: 9,
+            threads: 1,
+        },
+        &RetryPolicy::default(),
+        |_point, rng| {
+            // The whole first attempt hits a crashed node; the fault
+            // clears before the retry (a transient outage).
+            if calls.fetch_add(1, Ordering::SeqCst) < 10 {
+                Err(MeasureFailure::Fault(
+                    scibench_sim::fault::SimFault::NodeCrashed {
+                        node: 1,
+                        at_ns: 0.0,
+                    },
+                ))
+            } else {
+                Ok(1.0e3 + rng.uniform())
+            }
+        },
+    )
+    .expect("retry must rescue the point");
+    assert_eq!(result.health.points_retried, 1);
+    assert!(matches!(
+        result.runs[0].fate,
+        PointFate::Completed { attempts: 2, .. }
+    ));
+    assert_eq!(result.summaries(0.95).unwrap().len(), 1);
+}
+
+#[test]
+fn timeout_quarantines_expensive_point_without_panicking() {
+    // A quiet machine makes transfer costs deterministic, so a budget
+    // strictly between the cheap and expensive point totals is safe.
+    let machine = MachineSpec::test_machine(4);
+    let net = NetworkModel::new(&machine);
+    let samples = 50.0;
+    let small_total = samples * 2.0 * net.base_transfer_ns(0, 1, 64);
+    let big_total = samples * 2.0 * net.base_transfer_ns(0, 1, 1 << 20);
+    assert!(
+        small_total * 2.0 < big_total / 2.0,
+        "degenerate cost model: {small_total} vs {big_total}"
+    );
+    let budget = (small_total * 2.0).max(big_total / 4.0);
+    let no_faults = FaultPlan::none();
+    let result = run_campaign_resilient(
+        &Design::new(vec![Factor::numeric("bytes", &[64.0, (1 << 20) as f64])]),
+        &fixed_plan(samples as usize),
+        &CampaignConfig {
+            seed: 11,
+            threads: 1,
+        },
+        &RetryPolicy::default().budget_ns(budget),
+        |point, rng| faulty_pingpong(&net, machine.nodes, &no_faults, bytes_of(point), rng),
+    )
+    .expect("the cheap point must survive");
+    assert_eq!(result.health.points_timed_out, 1);
+    assert_eq!(result.health.points_completed, 1);
+    let quarantined = result.quarantined();
+    assert_eq!(quarantined.len(), 1);
+    assert_eq!(bytes_of(quarantined[0]), 1 << 20);
+    assert_eq!(result.summaries(0.95).unwrap().len(), 1);
+}
+
+#[test]
+fn total_outage_is_a_typed_error_not_a_panic() {
+    // Every node is scheduled to crash inside a 1 ns window; every
+    // measurement starts after it. Nothing can succeed.
+    let plan = FaultPlan {
+        node_crash_prob: 1.0,
+        crash_window_ns: 1.0,
+        ..FaultPlan::none()
+    };
+    let machine = MachineSpec::test_machine(4);
+    let net = NetworkModel::new(&machine);
+    let err = run_campaign_resilient(
+        &bytes_design(),
+        &fixed_plan(20),
+        &CampaignConfig {
+            seed: 13,
+            threads: 2,
+        },
+        &RetryPolicy::default().attempts(2),
+        |point, rng| {
+            let ctx_seed = (rng.uniform() * (1u64 << 53) as f64) as u64;
+            let mut ctx = FaultContext::new(&plan, machine.nodes, &SimRng::new(ctx_seed));
+            ctx.advance(2.0); // past the crash window: the fabric is down
+            let ns = net.transfer_faulty_ns(0, 1, bytes_of(point), &mut ctx, rng)?;
+            Ok(ns)
+        },
+    )
+    .expect_err("a total outage must fail the campaign");
+    match err {
+        CampaignError::AllPointsFailed { health } => {
+            assert_eq!(health.points_completed, 0);
+            assert_eq!(health.points_abandoned, 2);
+            assert!(health.render().contains("0/2 points completed"));
+        }
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn panicking_measurement_is_contained() {
+    let design = Design::new(vec![Factor::new("mode", &["ok", "boom"])]);
+    let result = run_campaign_resilient(
+        &design,
+        &fixed_plan(10),
+        &CampaignConfig {
+            seed: 17,
+            threads: 1,
+        },
+        &RetryPolicy::default().attempts(2),
+        |point, rng| {
+            if point.level(0) == "boom" {
+                panic!("simulated driver bug");
+            }
+            Ok(1.0 + rng.uniform())
+        },
+    )
+    .expect("the healthy point must survive its neighbor's panic");
+    assert_eq!(result.health.points_completed, 1);
+    assert_eq!(result.health.panics_contained, 2);
+    let boom = result
+        .runs
+        .iter()
+        .find(|r| r.point.level(0) == "boom")
+        .unwrap();
+    assert!(matches!(boom.fate, PointFate::Abandoned { .. }));
+}

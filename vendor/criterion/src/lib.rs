@@ -1,0 +1,205 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches use:
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` with `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! `BenchmarkId`, `black_box`, and `Bencher::iter`. Instead of statistical sampling
+//! it runs each benchmark body a handful of times and reports the best observed
+//! wall-clock time — enough for the CI smoke run (`cargo bench -- --test`) and for
+//! eyeballing relative magnitudes, not for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, recording the best per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns = best;
+    }
+}
+
+fn run_one(full_name: &str, iters: u32, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        best_ns: f64::NAN,
+    };
+    f(&mut b);
+    let pretty = if b.best_ns.is_nan() {
+        "no iter() call".to_string()
+    } else if b.best_ns >= 1e9 {
+        format!("{:.3} s", b.best_ns / 1e9)
+    } else if b.best_ns >= 1e6 {
+        format!("{:.3} ms", b.best_ns / 1e6)
+    } else if b.best_ns >= 1e3 {
+        format!("{:.3} µs", b.best_ns / 1e3)
+    } else {
+        format!("{:.0} ns", b.best_ns)
+    };
+    println!("bench: {full_name:<50} {pretty}");
+}
+
+/// Top-level benchmark driver (offline stub).
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- --test` (CI smoke) and plain runs both take the
+        // quick path: a few iterations, best-of reporting.
+        Criterion { iters: 3 }
+    }
+}
+
+impl Criterion {
+    /// Accepts and ignores criterion's CLI arguments (`--test`, `--bench`, filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+
+    /// Finalize (no-op in the stub).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is not configurable here.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.iters, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut closure = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id.id), self.iters, &mut closure);
+        self
+    }
+
+    /// Close the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,9 @@
+//! Offline stub of `crossbeam` (see `vendor/README.md`). The workspace declares
+//! the dependency but does not use it; scoped threads come from `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread helpers, re-exported from the standard library.
+pub mod thread {
+    pub use std::thread::{scope, Scope};
+}

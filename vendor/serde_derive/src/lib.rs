@@ -1,0 +1,147 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! The companion `serde` stub defines `Serialize`/`Deserialize` as empty marker
+//! traits, so these derives only need to parse the item header (name + generic
+//! parameter names — no `syn`/`quote` available offline) and emit empty impls.
+//! `#[serde(...)]` helper attributes are declared so they are accepted and ignored.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name and generic-parameter names of the item being derived for.
+struct Header {
+    name: String,
+    /// Parameter names as written at use sites, e.g. `'a`, `T`, `N`.
+    params: Vec<String>,
+    /// Parameter declarations, e.g. `'a`, `T`, `const N: usize` (bounds dropped —
+    /// the marker traits need none).
+    decls: Vec<String>,
+}
+
+fn parse_header(input: TokenStream) -> Header {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), visibility (`pub`, `pub(...)`) until `struct`/`enum`.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" || s == "union" {
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = Some(n.to_string());
+                    }
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = name.expect("serde_derive stub: could not find type name");
+
+    let mut params = Vec::new();
+    let mut decls = Vec::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        let mut entry: Vec<TokenTree> = Vec::new();
+        let mut entries: Vec<Vec<TokenTree>> = Vec::new();
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        entries.push(std::mem::take(&mut entry));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            entry.push(tt);
+        }
+        if !entry.is_empty() {
+            entries.push(entry);
+        }
+        for entry in entries {
+            // Name = leading lifetime (`'x`) or the identifier after optional `const`.
+            let mut head = String::new();
+            let mut decl = String::new();
+            let mut bounded = false;
+            let mut is_const = false;
+            for tt in &entry {
+                let tok = tt.to_string();
+                if !bounded {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '\'' => head.push('\''),
+                        TokenTree::Punct(p) if p.as_char() == ':' => bounded = true,
+                        TokenTree::Punct(p) if p.as_char() == '=' => bounded = true,
+                        TokenTree::Ident(id) if id.to_string() == "const" => is_const = true,
+                        TokenTree::Ident(_) if head.is_empty() || head == "'" => {
+                            head.push_str(&tok)
+                        }
+                        _ => {}
+                    }
+                }
+                // Const parameters keep their full `const N: Type` declaration.
+                if is_const {
+                    decl.push_str(&tok);
+                    decl.push(' ');
+                }
+            }
+            if !is_const {
+                decl = head.clone();
+            }
+            params.push(head);
+            decls.push(decl.trim().to_string());
+        }
+    }
+    Header {
+        name,
+        params,
+        decls,
+    }
+}
+
+fn render_impl(header: &Header, trait_path: &str, extra_param: Option<&str>) -> String {
+    let mut all_decls: Vec<String> = Vec::new();
+    if let Some(p) = extra_param {
+        all_decls.push(p.to_string());
+    }
+    all_decls.extend(header.decls.iter().cloned());
+    let impl_generics = if all_decls.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", all_decls.join(", "))
+    };
+    let ty_generics = if header.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", header.params.join(", "))
+    };
+    format!(
+        "#[automatically_derived] impl{} {} for {}{} {{}}",
+        impl_generics, trait_path, header.name, ty_generics
+    )
+}
+
+/// Derive the empty marker impl of `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    render_impl(&header, "::serde::Serialize", None)
+        .parse()
+        .expect("serde_derive stub: generated impl failed to parse")
+}
+
+/// Derive the empty marker impl of `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    render_impl(&header, "::serde::Deserialize<'de>", Some("'de"))
+        .parse()
+        .expect("serde_derive stub: generated impl failed to parse")
+}

@@ -1,21 +1,35 @@
 //! Regenerates every table and figure in one run, writing all text
 //! renditions and CSV exports into `figures/`.
 //!
+//! Figures are independent of each other, so they execute concurrently on
+//! the deterministic work-stealing pool ([`scibench::parallel::pool`]);
+//! each figure derives its randomness from the shared seed alone, so the
+//! output files are identical no matter how the figures are scheduled.
+//! Progress messages are buffered per figure and printed in figure order.
+//!
 //! `SCIBENCH_SAMPLES` scales the ping-pong sample counts (default 1M,
 //! matching the paper).
 
 use std::fs;
 use std::process::ExitCode;
 
+use scibench::parallel::pool;
 use scibench_bench::figures::*;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
 
-fn save(name: &str, text: &str) -> std::io::Result<()> {
-    fs::create_dir_all(output::figures_dir())?;
+/// One figure job: renders and writes its artifacts, returning the
+/// progress lines to print (in figure order) on success.
+type FigureJob = Box<dyn Fn() -> Result<Vec<String>, String> + Send + Sync>;
+
+fn save(name: &str, text: &str) -> Result<String, String> {
     let path = output::figures_dir().join(format!("{name}.txt"));
-    fs::write(&path, text)?;
-    println!("wrote {}", path.display());
-    Ok(())
+    fs::write(&path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(format!("wrote {}", path.display()))
+}
+
+fn csv(name: &str, dataset: &scibench::data::DataSet) -> Result<String, String> {
+    let path = output::write_csv(name, dataset).map_err(|e| format!("csv {name}: {e}"))?;
+    Ok(format!("wrote {}", path.display()))
 }
 
 fn main() -> ExitCode {
@@ -31,51 +45,136 @@ fn main() -> ExitCode {
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let big = samples_from_env(1_000_000);
     let seed = DEFAULT_SEED;
+    fs::create_dir_all(output::figures_dir())?;
 
-    let f1 = fig1_hpl::compute(50, seed)?;
-    save("fig1_hpl", &f1.render())?;
-    output::write_csv("fig1_hpl", &f1.dataset())?;
+    let jobs: Vec<(&str, FigureJob)> = vec![
+        (
+            "fig1_hpl",
+            Box::new(move || {
+                let f = fig1_hpl::compute(50, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig1_hpl", &f.render())?,
+                    csv("fig1_hpl", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "table1",
+            Box::new(|| {
+                let t = table1::compute();
+                Ok(vec![
+                    save("table1_survey", &t.render())?,
+                    csv("table1_scores", &t.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig2_normalization",
+            Box::new(move || {
+                let f = fig2_normalization::compute(big, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig2_normalization", &f.render())?,
+                    csv("fig2_qq", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig3_significance",
+            Box::new(move || {
+                let f = fig3_significance::compute(big, seed).map_err(|e| e.to_string())?;
+                let mut msgs = vec![
+                    save("fig3_significance", &f.render())?,
+                    csv("fig3_significance", &f.dataset())?,
+                ];
+                // The reproduction audits itself against the twelve rules.
+                let audit = scibench::rules::RuleAudit::check(&f.report());
+                msgs.push(save("fig3_rule_audit", &audit.render())?);
+                if !audit.passed() {
+                    return Err(format!(
+                        "figure 3 report failed its own audit:\n{}",
+                        audit.render()
+                    ));
+                }
+                Ok(msgs)
+            }),
+        ),
+        (
+            "fig4_quantreg",
+            Box::new(move || {
+                let f = fig4_quantreg::compute(big, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig4_quantile_regression", &f.render())?,
+                    csv("fig4_quantreg", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig5_reduce",
+            Box::new(move || {
+                let f = fig5_reduce::compute(1_000, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig5_reduce_scaling", &f.render())?,
+                    csv("fig5_reduce", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig6_variation",
+            Box::new(move || {
+                let f = fig6_variation::compute(64, 1_000, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig6_process_variation", &f.render())?,
+                    csv("fig6_variation", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig7ab_bounds",
+            Box::new(move || {
+                let f = fig7ab_bounds::compute(10, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig7ab_bounds", &f.render())?,
+                    csv("fig7ab_bounds", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "fig7c_plots",
+            Box::new(move || {
+                let f = fig7c_plots::compute(big, seed).map_err(|e| e.to_string())?;
+                Ok(vec![
+                    save("fig7c_plots", &f.render())?,
+                    csv("fig7c_plots", &f.dataset())?,
+                ])
+            }),
+        ),
+        (
+            "means_example",
+            Box::new(|| {
+                let ex = means_example::compute().map_err(|e| e.to_string())?;
+                Ok(vec![save("means_worked_example", &ex.render())?])
+            }),
+        ),
+    ];
 
-    let t1 = table1::compute();
-    save("table1_survey", &t1.render())?;
-    output::write_csv("table1_scores", &t1.dataset())?;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let results = pool::run_indexed(jobs.len(), threads, |i| (jobs[i].1)());
 
-    let f2 = fig2_normalization::compute(big, seed)?;
-    save("fig2_normalization", &f2.render())?;
-    output::write_csv("fig2_qq", &f2.dataset())?;
-
-    let f3 = fig3_significance::compute(big, seed)?;
-    save("fig3_significance", &f3.render())?;
-    output::write_csv("fig3_significance", &f3.dataset())?;
-    // The reproduction audits itself against the twelve rules.
-    let audit = scibench::rules::RuleAudit::check(&f3.report());
-    save("fig3_rule_audit", &audit.render())?;
-    if !audit.passed() {
-        return Err(format!("figure 3 report failed its own audit:\n{}", audit.render()).into());
+    // Resolve in figure order: progress lines stay stable across thread
+    // counts and the first failing figure (by index) wins.
+    for (result, (name, _)) in results.into_iter().zip(&jobs) {
+        match result {
+            Ok(Ok(messages)) => {
+                for line in messages {
+                    println!("{line}");
+                }
+            }
+            Ok(Err(e)) => return Err(format!("{name}: {e}").into()),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
-
-    let f4 = fig4_quantreg::compute(big, seed)?;
-    save("fig4_quantile_regression", &f4.render())?;
-    output::write_csv("fig4_quantreg", &f4.dataset())?;
-
-    let f5 = fig5_reduce::compute(1_000, seed)?;
-    save("fig5_reduce_scaling", &f5.render())?;
-    output::write_csv("fig5_reduce", &f5.dataset())?;
-
-    let f6 = fig6_variation::compute(64, 1_000, seed)?;
-    save("fig6_process_variation", &f6.render())?;
-    output::write_csv("fig6_variation", &f6.dataset())?;
-
-    let f7ab = fig7ab_bounds::compute(10, seed)?;
-    save("fig7ab_bounds", &f7ab.render())?;
-    output::write_csv("fig7ab_bounds", &f7ab.dataset())?;
-
-    let f7c = fig7c_plots::compute(big, seed)?;
-    save("fig7c_plots", &f7c.render())?;
-    output::write_csv("fig7c_plots", &f7c.dataset())?;
-
-    let ex = means_example::compute()?;
-    save("means_worked_example", &ex.render())?;
 
     println!("\nall figures regenerated (seed {seed:#x}, {big} samples for 1M-sample figures)");
     Ok(())

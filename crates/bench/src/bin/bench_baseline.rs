@@ -1,0 +1,514 @@
+//! Old-versus-new wall-clock baselines for the performance-engineering
+//! work, emitted as a committed `BENCH_stats.json`.
+//!
+//! Each benchmark pairs the *pre-optimization* algorithm (reimplemented
+//! here, verbatim in structure) with the current implementation, times
+//! both with `std::time::Instant` on identical inputs and seeds, and
+//! records the speedup. The two headline pairs carry acceptance targets:
+//!
+//! * `campaign_adaptive_4threads` — the legacy campaign engine
+//!   (static-chunk scheduling behind a mutex, full-vector `O(n²/batch)`
+//!   CI replanning) versus the work-stealing pool with `O(1)` Welford
+//!   replanning; target ≥ 3×.
+//! * `bootstrap_median_ci_10k` — the legacy resample-and-sort median
+//!   bootstrap (`O(reps · n log n)`) versus the order-statistic rank
+//!   device (`O(reps)` after one sort); target ≥ 5×.
+//!
+//! Modes:
+//!
+//! * no arguments — full measurement, writes `BENCH_stats.json` into the
+//!   current directory and fails if a target speedup is missed;
+//! * `--quick` — tiny workloads, no file written, no thresholds (CI
+//!   smoke: proves the harness runs);
+//! * `--verify <path>` — parses an existing baseline file and checks the
+//!   schema marker and that every expected benchmark id is present with
+//!   sane numbers (CI smoke: proves the committed file stays valid).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scibench::experiment::campaign::{run_campaign, CampaignConfig};
+use scibench::experiment::design::{Design, Factor, RunPoint};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench_sim::rng::SimRng;
+use scibench_stats::bootstrap::{bootstrap_ci, bootstrap_median_ci, mix_seed};
+use scibench_stats::ci;
+use scibench_stats::quantile::{quantile, QuantileMethod};
+use scibench_stats::sorted::SortedSamples;
+
+const SCHEMA: &str = "scibench-bench-baseline/v1";
+
+/// Benchmark ids every baseline file must contain, with their targets
+/// (`None` = informational, no threshold).
+const EXPECTED: &[(&str, Option<f64>)] = &[
+    ("campaign_adaptive_4threads", Some(3.0)),
+    ("bootstrap_median_ci_10k", Some(5.0)),
+    ("bootstrap_mean_ci_10k", None),
+    ("sorted_quantile_queries_100k", None),
+];
+
+struct BenchResult {
+    id: &'static str,
+    old_ns: u128,
+    new_ns: u128,
+    target: Option<f64>,
+}
+
+impl BenchResult {
+    fn speedup(&self) -> f64 {
+        self.old_ns as f64 / self.new_ns.max(1) as f64
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--verify") => {
+            let path = match args.get(1) {
+                Some(p) => p.clone(),
+                None => {
+                    eprintln!("bench_baseline: --verify requires a path");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match verify(&path) {
+                Ok(report) => {
+                    println!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bench_baseline: verification of {path} failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("--quick") => run_benches(true),
+        None => run_benches(false),
+        Some(other) => {
+            eprintln!("bench_baseline: unknown argument {other}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_benches(quick: bool) -> ExitCode {
+    let results = vec![
+        bench_campaign(quick),
+        bench_bootstrap_median(quick),
+        bench_bootstrap_mean(quick),
+        bench_sorted_quantiles(quick),
+    ];
+
+    println!(
+        "{:<32} {:>12} {:>12} {:>9}",
+        "benchmark", "old", "new", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<32} {:>12} {:>12} {:>8.2}x{}",
+            r.id,
+            pretty_ns(r.old_ns),
+            pretty_ns(r.new_ns),
+            r.speedup(),
+            match r.target {
+                Some(t) => format!("  (target {t:.0}x)"),
+                None => String::new(),
+            }
+        );
+    }
+
+    if quick {
+        println!("\nquick mode: no thresholds enforced, no baseline written");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    for r in &results {
+        if let Some(target) = r.target {
+            if r.speedup() < target {
+                eprintln!(
+                    "bench_baseline: {} reached {:.2}x, below the {target:.0}x target",
+                    r.id,
+                    r.speedup()
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+
+    let json = render_json(&results);
+    if let Err(e) = std::fs::write("BENCH_stats.json", &json) {
+        eprintln!("bench_baseline: writing BENCH_stats.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote BENCH_stats.json");
+    ExitCode::SUCCESS
+}
+
+fn pretty_ns(ns: u128) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Best of two runs (one in quick mode): coarse but stable enough for
+/// order-of-magnitude regression tracking.
+fn time_best<F: FnMut()>(quick: bool, mut f: F) -> u128 {
+    let runs = if quick { 1 } else { 2 };
+    let mut best = u128::MAX;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// Pair 1: campaign execution.
+// ---------------------------------------------------------------------
+
+/// The legacy adaptive-mean loop: replans by re-scanning the entire
+/// sample vector after every batch (`O(n²/batch)` total).
+fn legacy_adaptive_mean(
+    confidence: f64,
+    rel_error: f64,
+    batch: usize,
+    max_samples: usize,
+    mut operation: impl FnMut() -> f64,
+) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for _ in 0..batch.max(5).min(max_samples) {
+        samples.push(operation());
+    }
+    while samples.len() < max_samples {
+        let required = ci::required_samples_normal(&samples, confidence, rel_error).unwrap();
+        if required <= samples.len() {
+            break;
+        }
+        let next = required.min(max_samples).min(samples.len() + batch.max(1));
+        while samples.len() < next {
+            samples.push(operation());
+        }
+    }
+    samples
+}
+
+/// The legacy campaign engine: shuffled order split into static chunks,
+/// one thread per chunk, results pushed through a mutex.
+fn legacy_run_campaign<F>(
+    design: &Design,
+    config: &CampaignConfig,
+    stopping: (f64, f64, usize, usize),
+    measure: F,
+) -> Vec<(RunPoint, Vec<f64>)>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    let points = design.full_factorial();
+    let threads = config.threads.clamp(1, points.len());
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let mut order_rng = SimRng::new(config.seed).fork("campaign-order");
+    order_rng.shuffle(&mut order);
+
+    let root = SimRng::new(config.seed);
+    let (confidence, rel_error, batch, max_samples) = stopping;
+    let run_one = |design_idx: usize| -> (RunPoint, Vec<f64>) {
+        let point = &points[design_idx];
+        let mut rng = root.fork_indexed("campaign-point", design_idx as u64);
+        let samples = legacy_adaptive_mean(confidence, rel_error, batch, max_samples, || {
+            measure(point, &mut rng)
+        });
+        (point.clone(), samples)
+    };
+
+    type IndexedRun = (usize, (RunPoint, Vec<f64>));
+    let results: Mutex<Vec<IndexedRun>> = Mutex::new(Vec::with_capacity(points.len()));
+    std::thread::scope(|scope| {
+        for chunk in order.chunks(order.len().div_ceil(threads)) {
+            let results = &results;
+            let run_one = &run_one;
+            scope.spawn(move || {
+                for &idx in chunk {
+                    let run = run_one(idx);
+                    results.lock().expect("poisoned").push((idx, run));
+                }
+            });
+        }
+    });
+    let mut slots: Vec<Option<(RunPoint, Vec<f64>)>> = (0..points.len()).map(|_| None).collect();
+    for (idx, run) in results.into_inner().expect("poisoned") {
+        slots[idx] = Some(run);
+    }
+    slots.into_iter().map(|s| s.unwrap()).collect()
+}
+
+fn bench_campaign(quick: bool) -> BenchResult {
+    // Heavy-tailed noise (CoV ≈ 0.9) forces ~100k samples per point at
+    // 0.5% relative error, which is where the legacy full-vector
+    // replanning goes quadratic.
+    let design = Design::new(vec![
+        Factor::new("system", &["a", "b"]),
+        Factor::numeric("size", &[8.0, 64.0]),
+    ]);
+    let measure = |point: &RunPoint, rng: &mut SimRng| {
+        let base = if point.level(0) == "a" { 0.1 } else { 0.2 };
+        let u = rng.uniform().clamp(1e-12, 1.0 - 1e-12);
+        base + (-u.ln())
+    };
+    let (rel_error, batch, max_samples) = if quick {
+        (0.05, 20, 5_000)
+    } else {
+        (0.005, 100, 150_000)
+    };
+    let config = CampaignConfig {
+        seed: 21,
+        threads: 4,
+    };
+    let plan = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+        confidence: 0.95,
+        rel_error,
+        batch,
+        max_samples,
+    });
+
+    let old_ns = time_best(quick, || {
+        let runs = legacy_run_campaign(
+            &design,
+            &config,
+            (0.95, rel_error, batch, max_samples),
+            measure,
+        );
+        assert_eq!(runs.len(), 4);
+    });
+    let new_ns = time_best(quick, || {
+        let result = run_campaign(&design, &plan, &config, measure).unwrap();
+        assert_eq!(result.runs.len(), 4);
+    });
+    BenchResult {
+        id: "campaign_adaptive_4threads",
+        old_ns,
+        new_ns,
+        target: Some(3.0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pair 2 and 3: bootstrap confidence intervals.
+// ---------------------------------------------------------------------
+
+fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0 - 1e-12);
+            1.0 + 0.25 * (-u.ln())
+        })
+        .collect()
+}
+
+/// The legacy median bootstrap: every replicate materializes and sorts a
+/// full resample.
+fn legacy_median_bootstrap(xs: &[f64], confidence: f64, reps: usize, seed: u64) -> (f64, f64) {
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(reps);
+    let mut resample = vec![0.0f64; n];
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, rep as u64));
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = n / 2;
+        stats.push(if n.is_multiple_of(2) {
+            0.5 * (resample[mid - 1] + resample[mid])
+        } else {
+            resample[mid]
+        });
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = 1.0 - confidence;
+    let lo = ((alpha / 2.0) * reps as f64) as usize;
+    let hi = (((1.0 - alpha / 2.0) * reps as f64) as usize).min(reps - 1);
+    (stats[lo], stats[hi])
+}
+
+fn bench_bootstrap_median(quick: bool) -> BenchResult {
+    let (n, reps) = if quick { (200, 500) } else { (1_000, 10_000) };
+    let xs = skewed_sample(n, 11);
+    let sorted = SortedSamples::new(&xs).unwrap();
+    let old_ns = time_best(quick, || {
+        std::hint::black_box(legacy_median_bootstrap(&xs, 0.95, reps, 42));
+    });
+    let new_ns = time_best(quick, || {
+        std::hint::black_box(bootstrap_median_ci(&sorted, 0.95, reps, 42).unwrap());
+    });
+    BenchResult {
+        id: "bootstrap_median_ci_10k",
+        old_ns,
+        new_ns,
+        target: Some(5.0),
+    }
+}
+
+/// The legacy mean bootstrap: one sequential RNG stream, a fresh resample
+/// vector allocated per replicate.
+fn legacy_mean_bootstrap(xs: &[f64], confidence: f64, reps: usize, seed: u64) -> (f64, f64) {
+    let n = xs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let resample: Vec<f64> = (0..n).map(|_| xs[rng.gen_range(0..n)]).collect();
+        stats.push(resample.iter().sum::<f64>() / n as f64);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = 1.0 - confidence;
+    let lo = ((alpha / 2.0) * reps as f64) as usize;
+    let hi = (((1.0 - alpha / 2.0) * reps as f64) as usize).min(reps - 1);
+    (stats[lo], stats[hi])
+}
+
+fn bench_bootstrap_mean(quick: bool) -> BenchResult {
+    let (n, reps) = if quick { (200, 500) } else { (1_000, 10_000) };
+    let xs = skewed_sample(n, 12);
+    let old_ns = time_best(quick, || {
+        std::hint::black_box(legacy_mean_bootstrap(&xs, 0.95, reps, 42));
+    });
+    let new_ns = time_best(quick, || {
+        let ci = bootstrap_ci(&xs, 0.95, reps, 42, |r| {
+            r.iter().sum::<f64>() / r.len() as f64
+        })
+        .unwrap();
+        std::hint::black_box(ci);
+    });
+    BenchResult {
+        id: "bootstrap_mean_ci_10k",
+        old_ns,
+        new_ns,
+        target: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pair 4: order-statistic queries through the sorted cache.
+// ---------------------------------------------------------------------
+
+fn bench_sorted_quantiles(quick: bool) -> BenchResult {
+    let n = if quick { 10_000 } else { 100_000 };
+    let xs = skewed_sample(n, 13);
+    let ps = [0.25, 0.5, 0.75, 0.9];
+    let old_ns = time_best(quick, || {
+        let mut acc = 0.0;
+        for p in ps {
+            acc += quantile(&xs, p, QuantileMethod::Interpolated).unwrap();
+        }
+        std::hint::black_box(acc);
+    });
+    let new_ns = time_best(quick, || {
+        let sorted = SortedSamples::new(&xs).unwrap();
+        let mut acc = 0.0;
+        for p in ps {
+            acc += sorted.quantile(p, QuantileMethod::Interpolated).unwrap();
+        }
+        std::hint::black_box(acc);
+    });
+    BenchResult {
+        id: "sorted_quantile_queries_100k",
+        old_ns,
+        new_ns,
+        target: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON emission and verification (hand-rolled: no JSON dependency).
+// ---------------------------------------------------------------------
+
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", r.id);
+        let _ = writeln!(out, "      \"old_ns\": {},", r.old_ns);
+        let _ = writeln!(out, "      \"new_ns\": {},", r.new_ns);
+        match r.target {
+            Some(t) => {
+                let _ = writeln!(out, "      \"speedup\": {:.2},", r.speedup());
+                let _ = writeln!(out, "      \"target_speedup\": {t:.1}");
+            }
+            None => {
+                let _ = writeln!(out, "      \"speedup\": {:.2}", r.speedup());
+            }
+        }
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts the number following `"key":` in `obj`, if present.
+fn field_number(obj: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = obj.find(&marker)? + marker.len();
+    let rest = obj[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn verify(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading: {e}"))?;
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        return Err(format!("schema marker {SCHEMA:?} not found"));
+    }
+    let mut report = String::from("baseline OK:\n");
+    for (id, target) in EXPECTED {
+        let marker = format!("\"id\": \"{id}\"");
+        let at = text
+            .find(&marker)
+            .ok_or_else(|| format!("bench id {id:?} missing"))?;
+        // The entry's fields live between this id and the next object.
+        let entry = &text[at..text[at..].find('}').map_or(text.len(), |e| at + e)];
+        let old_ns =
+            field_number(entry, "old_ns").ok_or_else(|| format!("{id}: old_ns missing"))?;
+        let new_ns =
+            field_number(entry, "new_ns").ok_or_else(|| format!("{id}: new_ns missing"))?;
+        let speedup =
+            field_number(entry, "speedup").ok_or_else(|| format!("{id}: speedup missing"))?;
+        if !(old_ns > 0.0 && new_ns > 0.0 && speedup > 0.0) {
+            return Err(format!("{id}: non-positive timings"));
+        }
+        if let Some(t) = target {
+            if speedup < *t {
+                return Err(format!(
+                    "{id}: recorded speedup {speedup:.2}x below target {t:.0}x"
+                ));
+            }
+        }
+        let _ = writeln!(report, "  {id}: {speedup:.2}x");
+    }
+    Ok(report.trim_end().to_string())
+}

@@ -1,0 +1,153 @@
+//! Performance suite for the experiment engine: campaign execution on the
+//! work-stealing pool (fixed and adaptive plans), the legacy quadratic
+//! replanning loop as a reference, and a collective-simulation campaign.
+//!
+//! `legacy_adaptive_mean` reimplements the pre-optimization stopping loop
+//! — recomputing the §4.2.2 sample-size formula over the *whole* sample
+//! vector after every batch, `O(n²/batch)` total — so the old-versus-new
+//! pair can be timed from one binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use scibench::experiment::campaign::{run_campaign, CampaignConfig};
+use scibench::experiment::design::{Design, Factor, RunPoint};
+use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::collectives::reduce;
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci;
+
+fn demo_design() -> Design {
+    Design::new(vec![
+        Factor::new("system", &["a", "b"]),
+        Factor::numeric("size", &[8.0, 64.0, 512.0, 4096.0]),
+    ])
+}
+
+fn noisy_measure(point: &RunPoint, rng: &mut SimRng) -> f64 {
+    let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+    let size: f64 = point.level(1).parse().unwrap();
+    base + size * 1e-4 + rng.uniform() * 0.5
+}
+
+/// The pre-optimization adaptive-mean loop: full-vector replanning.
+fn legacy_adaptive_mean(
+    confidence: f64,
+    rel_error: f64,
+    batch: usize,
+    max_samples: usize,
+    mut operation: impl FnMut() -> f64,
+) -> Vec<f64> {
+    let mut samples = Vec::new();
+    for _ in 0..batch.max(5).min(max_samples) {
+        samples.push(operation());
+    }
+    while samples.len() < max_samples {
+        let required = ci::required_samples_normal(&samples, confidence, rel_error).unwrap();
+        if required <= samples.len() {
+            break;
+        }
+        let next = required.min(max_samples).min(samples.len() + batch.max(1));
+        while samples.len() < next {
+            samples.push(operation());
+        }
+    }
+    samples
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let fixed = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(2_000));
+    let adaptive = MeasurementPlan::new("op").stopping(StoppingRule::AdaptiveMeanCi {
+        confidence: 0.95,
+        rel_error: 0.01,
+        batch: 10,
+        max_samples: 50_000,
+    });
+    let mut group = c.benchmark_group("campaign");
+    group.bench_function("fixed_2000_threads4", |b| {
+        b.iter(|| {
+            run_campaign(
+                &demo_design(),
+                black_box(&fixed),
+                &CampaignConfig {
+                    seed: 1,
+                    threads: 4,
+                },
+                noisy_measure,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("adaptive_mean_threads4", |b| {
+        b.iter(|| {
+            run_campaign(
+                &demo_design(),
+                black_box(&adaptive),
+                &CampaignConfig {
+                    seed: 1,
+                    threads: 4,
+                },
+                noisy_measure,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("adaptive_mean_threads1", |b| {
+        b.iter(|| {
+            run_campaign(
+                &demo_design(),
+                black_box(&adaptive),
+                &CampaignConfig {
+                    seed: 1,
+                    threads: 1,
+                },
+                noisy_measure,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_legacy_replanning(c: &mut Criterion) {
+    c.bench_function("campaign/legacy_quadratic_replanning_1point", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1).fork_indexed("campaign-point", 0);
+            legacy_adaptive_mean(0.95, 0.01, 10, 50_000, || 1.0 + rng.uniform() * 0.5)
+        })
+    });
+}
+
+fn bench_collective_campaign(c: &mut Criterion) {
+    let machine = MachineSpec::piz_daint();
+    let plan = MeasurementPlan::new("reduce").stopping(StoppingRule::FixedCount(50));
+    let design = Design::new(vec![Factor::numeric("procs", &[8.0, 32.0])]);
+    c.bench_function("campaign/collective_reduce_threads2", |b| {
+        b.iter(|| {
+            run_campaign(
+                &design,
+                black_box(&plan),
+                &CampaignConfig {
+                    seed: 9,
+                    threads: 2,
+                },
+                |point, rng| {
+                    let p: usize = point.level(0).parse::<f64>().unwrap() as usize;
+                    let alloc =
+                        Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, rng);
+                    reduce(&machine, &alloc, 8, rng).max_ns()
+                },
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_campaign,
+    bench_legacy_replanning,
+    bench_collective_campaign
+);
+criterion_main!(benches);

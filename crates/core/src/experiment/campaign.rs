@@ -9,13 +9,19 @@
 //! design points.
 //!
 //! Parallel execution is deterministic: every design point derives its
-//! random stream from `(campaign seed, point index)`, so results are
-//! identical whether the campaign runs on 1 thread or 16.
-
-use std::sync::Mutex;
+//! random stream from `(campaign seed, point index)`, and points execute
+//! on the work-stealing pool of [`crate::parallel::pool`] whose output is
+//! independent of scheduling — so results are bit-identical whether the
+//! campaign runs on 1 thread or 16.
+//!
+//! Error semantics: all points run to completion (no early abort); if any
+//! point fails, the error of the *lowest design index* is returned, and a
+//! panicking measurement is re-raised after every other point finished.
 
 use scibench_sim::rng::SimRng;
 use scibench_stats::error::{StatsError, StatsResult};
+
+use crate::parallel::pool;
 
 use super::design::{Design, RunPoint};
 use super::measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary};
@@ -25,7 +31,8 @@ use super::measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary
 pub struct CampaignConfig {
     /// Seed for order randomization and per-point streams.
     pub seed: u64,
-    /// Worker threads (1 = sequential). Points are distributed statically.
+    /// Worker threads (1 = sequential). Points are claimed dynamically
+    /// from a work-stealing queue.
     pub threads: usize,
 }
 
@@ -56,10 +63,16 @@ pub struct CampaignResult {
 
 impl CampaignResult {
     /// Summarizes every run at the given confidence level.
-    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(RunPoint, MeasurementSummary)>> {
+    ///
+    /// Returns borrowed points: no `RunPoint` is cloned, and the first
+    /// summarization error short-circuits before any tuple is built.
+    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(&RunPoint, MeasurementSummary)>> {
         self.runs
             .iter()
-            .map(|r| Ok((r.point.clone(), r.outcome.summarize(confidence)?)))
+            .map(|r| {
+                let summary = r.outcome.summarize(confidence)?;
+                Ok((&r.point, summary))
+            })
             .collect()
     }
 
@@ -112,47 +125,24 @@ where
         })
     };
 
-    let mut slots: Vec<Option<CampaignRun>> = (0..points.len()).map(|_| None).collect();
-    if threads == 1 {
-        for &idx in &order {
-            slots[idx] = Some(run_one(idx)?);
-        }
-    } else {
-        // Static distribution of the shuffled order across workers;
-        // results land in design order regardless of scheduling.
-        let error: Mutex<Option<StatsError>> = Mutex::new(None);
-        let results: Mutex<Vec<(usize, CampaignRun)>> =
-            Mutex::new(Vec::with_capacity(points.len()));
-        std::thread::scope(|scope| {
-            for chunk in order.chunks(order.len().div_ceil(threads)) {
-                let error = &error;
-                let results = &results;
-                let run_one = &run_one;
-                scope.spawn(move || {
-                    for &idx in chunk {
-                        match run_one(idx) {
-                            Ok(run) => results.lock().expect("poisoned").push((idx, run)),
-                            Err(e) => {
-                                *error.lock().expect("poisoned") = Some(e);
-                                return;
-                            }
-                        }
-                    }
-                });
-            }
-        });
-        if let Some(e) = error.into_inner().expect("poisoned") {
-            return Err(e);
-        }
-        for (idx, run) in results.into_inner().expect("poisoned") {
-            slots[idx] = Some(run);
-        }
+    // The pool executes positions of the shuffled order; un-shuffle the
+    // outputs back into design order before resolving outcomes, so error
+    // and panic precedence is by design index, not by execution order.
+    let positioned = pool::run_indexed(order.len(), threads, |pos| run_one(order[pos]));
+    let mut by_design: Vec<Option<std::thread::Result<StatsResult<CampaignRun>>>> =
+        (0..points.len()).map(|_| None).collect();
+    for (pos, result) in positioned.into_iter().enumerate() {
+        by_design[order[pos]] = Some(result);
     }
 
-    let runs = slots
-        .into_iter()
-        .map(|s| s.expect("every design point executed"))
-        .collect();
+    let mut runs = Vec::with_capacity(points.len());
+    for slot in by_design {
+        match slot.expect("every design point executed") {
+            Ok(Ok(run)) => runs.push(run),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
     Ok(CampaignResult { runs })
 }
 
@@ -299,6 +289,35 @@ mod tests {
             "{:?}",
             result.unconverged()
         );
+    }
+
+    #[test]
+    fn panicking_measurement_resurfaces_after_all_points_ran() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(3));
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(
+                &demo_design(),
+                &plan,
+                &CampaignConfig {
+                    seed: 6,
+                    threads: 2,
+                },
+                |point, rng| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if point.level(1) == "64" {
+                        panic!("driver bug at size 64");
+                    }
+                    demo_measure(point, rng)
+                },
+            )
+        }));
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().unwrap();
+        assert_eq!(*msg, "driver bug at size 64");
+        // No early abort: the healthy points all executed their samples.
+        assert!(ran.load(Ordering::SeqCst) >= 4 * 3 + 2);
     }
 
     #[test]

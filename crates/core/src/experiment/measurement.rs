@@ -24,7 +24,8 @@ use scibench_stats::error::{StatsError, StatsResult};
 use scibench_stats::normality::{shapiro_wilk_thinned, ShapiroWilk};
 use scibench_stats::quantile::FiveNumberSummary;
 use scibench_stats::sanitize::sanitize;
-use scibench_stats::summary;
+use scibench_stats::sorted::SortedSamples;
+use scibench_stats::summary::{self, OnlineMoments};
 
 /// When to stop measuring.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -121,25 +122,34 @@ impl MeasurementPlan {
                 max_samples,
             } => {
                 let mut converged = false;
+                // Running Welford moments make each replanning round O(1)
+                // instead of re-scanning the whole sample vector, so the
+                // loop is O(n) total rather than O(n²/batch).
+                let mut moments = OnlineMoments::new();
                 // Pilot batch (at least 5 to make the t-quantile sane).
                 let pilot = batch.max(5);
                 for _ in 0..pilot.min(max_samples) {
-                    samples.push(operation());
+                    let x = operation();
+                    moments.push(x);
+                    samples.push(x);
                 }
                 while samples.len() < max_samples {
-                    let required = ci::required_samples_normal(&samples, confidence, rel_error)?;
+                    let required =
+                        ci::required_samples_from_moments(&moments, confidence, rel_error)?;
                     if required <= samples.len() {
                         converged = true;
                         break;
                     }
                     let next = required.min(max_samples).min(samples.len() + batch.max(1));
                     while samples.len() < next {
-                        samples.push(operation());
+                        let x = operation();
+                        moments.push(x);
+                        samples.push(x);
                     }
                 }
                 // Final check if we filled up to a boundary.
                 if !converged {
-                    converged = ci::required_samples_normal(&samples, confidence, rel_error)?
+                    converged = ci::required_samples_from_moments(&moments, confidence, rel_error)?
                         <= samples.len();
                 }
                 converged
@@ -152,12 +162,22 @@ impl MeasurementPlan {
             } => {
                 let mut converged = false;
                 let batch = batch.max(1);
+                // Each batch is merged into a sorted cache (O(n + b) per
+                // batch) instead of re-sorting all samples at every check.
+                let mut sorted: Option<SortedSamples> = None;
                 while samples.len() < max_samples {
+                    let start = samples.len();
                     for _ in 0..batch.min(max_samples - samples.len()) {
                         samples.push(operation());
                     }
+                    let fresh = &samples[start..];
+                    match sorted.as_mut() {
+                        Some(cache) => cache.merge_extend(fresh)?,
+                        None => sorted = Some(SortedSamples::new(fresh)?),
+                    }
+                    let cache = sorted.as_ref().expect("batch just merged");
                     if let Some((_ci, tight)) =
-                        ci::nonparametric_stop_check(&samples, confidence, rel_error)?
+                        ci::nonparametric_stop_check_sorted(cache, confidence, rel_error)?
                     {
                         if tight {
                             converged = true;
@@ -254,7 +274,10 @@ impl MeasurementOutcome {
             return Err(StatsError::NonFiniteSample);
         }
         let xs = &sanitized.clean;
-        let five = FiveNumberSummary::from_samples(xs)?;
+        // One sort feeds both order-statistic consumers (five-number
+        // summary and median CI) below.
+        let sorted = SortedSamples::new(xs)?;
+        let five = sorted.five_number();
         let mean = summary::arithmetic_mean(xs)?;
         let deterministic = five.max == five.min;
 
@@ -281,7 +304,7 @@ impl MeasurementOutcome {
         } else {
             ci::mean_ci(xs, confidence).ok()
         };
-        let median_ci = ci::median_ci(xs, confidence).ok();
+        let median_ci = sorted.median_ci(confidence).ok();
 
         Ok(MeasurementSummary {
             name: self.name.clone(),

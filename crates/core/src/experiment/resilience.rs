@@ -30,13 +30,14 @@
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
 use scibench_sim::fault::SimFault;
 use scibench_sim::rng::SimRng;
 use scibench_stats::error::StatsResult;
+
+use crate::parallel::pool;
 
 use super::campaign::CampaignConfig;
 use super::design::{Design, RunPoint};
@@ -230,11 +231,14 @@ pub struct ResilientCampaignResult {
 impl ResilientCampaignResult {
     /// Summarizes every *surviving* run at the given confidence level;
     /// quarantined points are skipped.
-    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(RunPoint, MeasurementSummary)>> {
+    ///
+    /// Returns borrowed points: no `RunPoint` is cloned, and the first
+    /// summarization error short-circuits before any tuple is built.
+    pub fn summaries(&self, confidence: f64) -> StatsResult<Vec<(&RunPoint, MeasurementSummary)>> {
         self.runs
             .iter()
-            .filter_map(|r| r.outcome.as_ref().map(|o| (r, o)))
-            .map(|(r, o)| Ok((r.point.clone(), o.summarize(confidence)?)))
+            .filter_map(|r| r.outcome.as_ref().map(|o| (&r.point, o)))
+            .map(|(point, o)| Ok((point, o.summarize(confidence)?)))
             .collect()
     }
 
@@ -441,30 +445,16 @@ where
         }
     };
 
+    // Execute the shuffled order on the work-stealing pool, then
+    // un-shuffle back into design order. `run_one` is infallible — panics
+    // in the measurement closure are already contained per attempt — so a
+    // pool-level panic can only be runner infrastructure and is re-raised.
+    let positioned = pool::run_indexed(order.len(), threads, |pos| run_one(order[pos]));
     let mut slots: Vec<Option<ResilientRun>> = (0..points.len()).map(|_| None).collect();
-    if threads == 1 {
-        for &idx in &order {
-            slots[idx] = Some(run_one(idx));
-        }
-    } else {
-        // Static chunking of the shuffled order; no early abort — every
-        // point runs to its own fate regardless of its neighbours.
-        let results: Mutex<Vec<(usize, ResilientRun)>> =
-            Mutex::new(Vec::with_capacity(points.len()));
-        std::thread::scope(|scope| {
-            for chunk in order.chunks(order.len().div_ceil(threads)) {
-                let results = &results;
-                let run_one = &run_one;
-                scope.spawn(move || {
-                    for &idx in chunk {
-                        let run = run_one(idx);
-                        results.lock().expect("poisoned").push((idx, run));
-                    }
-                });
-            }
-        });
-        for (idx, run) in results.into_inner().expect("poisoned") {
-            slots[idx] = Some(run);
+    for (pos, result) in positioned.into_iter().enumerate() {
+        match result {
+            Ok(run) => slots[order[pos]] = Some(run),
+            Err(payload) => std::panic::resume_unwind(payload),
         }
     }
 

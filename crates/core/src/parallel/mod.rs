@@ -1,0 +1,16 @@
+//! Parallel execution and cross-process summarization.
+//!
+//! Two halves live here:
+//!
+//! * [`process`] — the paper's Rule 10 machinery for summarizing
+//!   measurements *across processes* (ANOVA-gated pooling, max/median
+//!   collapse). Re-exported at this level for backwards compatibility.
+//! * [`pool`] — the deterministic work-stealing thread pool that executes
+//!   campaigns, resilient campaigns and figure generation. Determinism is
+//!   a hard contract: results are a pure function of the task inputs,
+//!   never of thread scheduling (see [`pool::run_indexed`]).
+
+pub mod pool;
+pub mod process;
+
+pub use process::*;

@@ -187,3 +187,118 @@ proptest! {
         prop_assert!(text.ends_with('B'), "{text}");
     }
 }
+
+mod campaign_invariance {
+    use proptest::prelude::*;
+
+    use scibench::experiment::campaign::{run_campaign, CampaignConfig};
+    use scibench::experiment::design::{Design, Factor};
+    use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+    use scibench::experiment::resilience::{run_campaign_resilient, MeasureFailure, RetryPolicy};
+
+    fn small_design(a: usize, b: usize) -> Design {
+        Design::new(vec![
+            Factor::numeric("f1", &(0..a).map(|i| i as f64).collect::<Vec<_>>()),
+            Factor::numeric("f2", &(0..b).map(|i| i as f64).collect::<Vec<_>>()),
+        ])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn campaign_results_bit_identical_across_thread_counts(
+            a in 1usize..4,
+            b in 1usize..4,
+            n in 3usize..25,
+            seed in any::<u64>(),
+        ) {
+            // Thread count is a pure execution knob: every point's stream
+            // derives from (seed, design index), so the full result —
+            // every sample of every point — is identical at any width.
+            let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(n));
+            let measure = |point: &scibench::experiment::design::RunPoint,
+                           rng: &mut scibench_sim::rng::SimRng| {
+                let lvl: f64 = point.level(0).parse().unwrap();
+                1.0 + lvl * 0.1 + rng.uniform()
+            };
+            let reference = run_campaign(
+                &small_design(a, b),
+                &plan,
+                &CampaignConfig { seed, threads: 1 },
+                measure,
+            )
+            .unwrap();
+            for threads in [2usize, 8] {
+                let wide = run_campaign(
+                    &small_design(a, b),
+                    &plan,
+                    &CampaignConfig { seed, threads },
+                    measure,
+                )
+                .unwrap();
+                prop_assert_eq!(reference.runs.len(), wide.runs.len());
+                for (r, w) in reference.runs.iter().zip(&wide.runs) {
+                    prop_assert_eq!(&r.point, &w.point);
+                    prop_assert_eq!(r.outcome.samples.len(), w.outcome.samples.len());
+                    for (x, y) in r.outcome.samples.iter().zip(&w.outcome.samples) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn resilient_campaign_bit_identical_across_thread_counts(
+            a in 1usize..4,
+            n in 5usize..20,
+            fail_rate in 0.0f64..0.3,
+            seed in any::<u64>(),
+        ) {
+            let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(n));
+            let measure = move |_point: &scibench::experiment::design::RunPoint,
+                                rng: &mut scibench_sim::rng::SimRng| {
+                if rng.uniform() < fail_rate {
+                    Err(MeasureFailure::Failed("transient".into()))
+                } else {
+                    Ok(1.0 + rng.uniform())
+                }
+            };
+            let run = |threads: usize| {
+                run_campaign_resilient(
+                    &small_design(a, 2),
+                    &plan,
+                    &CampaignConfig { seed, threads },
+                    &RetryPolicy::default(),
+                    measure,
+                )
+            };
+            let reference = run(1);
+            for threads in [2usize, 8] {
+                let wide = run(threads);
+                match (&reference, &wide) {
+                    (Ok(r), Ok(w)) => {
+                        prop_assert_eq!(r.health, w.health);
+                        for (x, y) in r.runs.iter().zip(&w.runs) {
+                            prop_assert_eq!(&x.point, &y.point);
+                            prop_assert_eq!(&x.fate, &y.fate);
+                            prop_assert_eq!(x.panics_contained, y.panics_contained);
+                            match (&x.outcome, &y.outcome) {
+                                (Some(ox), Some(oy)) => {
+                                    prop_assert_eq!(ox.samples.len(), oy.samples.len());
+                                    for (s, t) in ox.samples.iter().zip(&oy.samples) {
+                                        prop_assert_eq!(s.to_bits(), t.to_bits());
+                                    }
+                                }
+                                (None, None) => {}
+                                other => prop_assert!(false, "outcome mismatch: {other:?}"),
+                            }
+                        }
+                    }
+                    (Err(re), Err(we)) => prop_assert_eq!(re, we),
+                    other => prop_assert!(false, "result kind mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+}

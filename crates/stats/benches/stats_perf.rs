@@ -1,0 +1,134 @@
+//! Performance suite for the statistical kernels: bootstrap CIs (legacy
+//! resample-and-sort versus the order-statistic rank device), chunked
+//! mean bootstrap, quantile regression, and the sort-once sample cache.
+//!
+//! The `legacy_*` benchmarks reimplement the pre-optimization algorithms
+//! locally so a single binary can report honest old-versus-new pairs;
+//! `bench_baseline` (in `scibench-bench`) uses the same pairing to emit
+//! the committed `BENCH_stats.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use scibench_stats::bootstrap::{bootstrap_ci, bootstrap_median_ci, mix_seed, BootstrapConfig};
+use scibench_stats::quantile::{quantile, QuantileMethod};
+use scibench_stats::quantreg;
+use scibench_stats::sorted::SortedSamples;
+
+fn skewed_sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0 - 1e-12);
+            1.0 + 0.25 * (-u.ln())
+        })
+        .collect()
+}
+
+/// The pre-optimization median bootstrap: every replicate resamples the
+/// full vector and sorts it to extract the median — `O(reps · n log n)`.
+fn legacy_median_bootstrap(xs: &[f64], confidence: f64, reps: usize, seed: u64) -> (f64, f64) {
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(reps);
+    let mut resample = vec![0.0f64; n];
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, rep as u64));
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.gen_range(0..n)];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = n / 2;
+        let median = if n.is_multiple_of(2) {
+            0.5 * (resample[mid - 1] + resample[mid])
+        } else {
+            resample[mid]
+        };
+        stats.push(median);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = 1.0 - confidence;
+    let lo = ((alpha / 2.0) * reps as f64) as usize;
+    let hi = (((1.0 - alpha / 2.0) * reps as f64) as usize).min(reps - 1);
+    (stats[lo], stats[hi])
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let xs = skewed_sample(1_000, 11);
+    let sorted = SortedSamples::new(&xs).unwrap();
+    let mut group = c.benchmark_group("bootstrap");
+    group.bench_function(BenchmarkId::new("median_ci_rank_device", "10k_reps"), |b| {
+        b.iter(|| bootstrap_median_ci(black_box(&sorted), 0.95, 10_000, 42).unwrap())
+    });
+    group.bench_function(
+        BenchmarkId::new("median_ci_legacy_resample_sort", "10k_reps"),
+        |b| b.iter(|| legacy_median_bootstrap(black_box(&xs), 0.95, 10_000, 42)),
+    );
+    group.bench_function(BenchmarkId::new("mean_ci_chunked", "10k_reps"), |b| {
+        b.iter(|| {
+            bootstrap_ci(black_box(&xs), 0.95, 10_000, 42, |r| {
+                r.iter().sum::<f64>() / r.len() as f64
+            })
+            .unwrap()
+        })
+    });
+    group.bench_function(
+        BenchmarkId::new("mean_ci_chunked_2threads", "10k_reps"),
+        |b| {
+            let config = BootstrapConfig::new(10_000, 42).threads(2);
+            b.iter(|| {
+                scibench_stats::bootstrap::bootstrap_ci_with(black_box(&xs), 0.95, &config, |r| {
+                    r.iter().sum::<f64>() / r.len() as f64
+                })
+                .unwrap()
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_quantreg(c: &mut Criterion) {
+    let base = skewed_sample(2_000, 3);
+    let other = skewed_sample(2_000, 4);
+    c.bench_function("quantreg/two_sample_3taus_200reps", |b| {
+        b.iter(|| {
+            quantreg::two_sample(
+                black_box(&base),
+                black_box(&other),
+                &[0.25, 0.5, 0.75],
+                0.95,
+                200,
+                7,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_sorted_cache(c: &mut Criterion) {
+    let xs = skewed_sample(100_000, 5);
+    let mut group = c.benchmark_group("sorted_cache");
+    group.bench_function("resort_per_query_4_quantiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [0.25, 0.5, 0.75, 0.9] {
+                acc += quantile(black_box(&xs), p, QuantileMethod::Interpolated).unwrap();
+            }
+            acc
+        })
+    });
+    group.bench_function("sort_once_4_quantiles", |b| {
+        b.iter(|| {
+            let sorted = SortedSamples::new(black_box(&xs)).unwrap();
+            let mut acc = 0.0;
+            for p in [0.25, 0.5, 0.75, 0.9] {
+                acc += sorted.quantile(p, QuantileMethod::Interpolated).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_quantreg, bench_sorted_cache);
+criterion_main!(benches);

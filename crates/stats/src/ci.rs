@@ -20,7 +20,8 @@ use crate::dist::normal::z_critical;
 use crate::dist::student_t::t_critical;
 use crate::error::{StatsError, StatsResult};
 use crate::quantile::{quantile_sorted, QuantileMethod};
-use crate::summary::{arithmetic_mean, sample_std_dev};
+use crate::sorted::SortedSamples;
+use crate::summary::{arithmetic_mean, sample_std_dev, OnlineMoments};
 use crate::{sorted_copy, validate_samples};
 
 /// A two-sided confidence interval around a point estimate.
@@ -249,6 +250,51 @@ pub fn required_samples_normal(
     Ok(n.ceil().max(2.0) as usize)
 }
 
+/// [`required_samples_normal`] evaluated from a streaming accumulator:
+/// O(1) per call instead of a full pass over the pilot sample.
+///
+/// This is what makes the adaptive-mean stopping rule cheap — the
+/// measurement loop replans after every batch, and with `n` samples
+/// collected the slice-based variant costs O(n) per replan (O(n²/batch)
+/// over a run) while this one reads the already-accumulated moments.
+/// Same contract as the slice variant: the accumulator must contain only
+/// finite observations.
+pub fn required_samples_from_moments(
+    moments: &OnlineMoments,
+    confidence: f64,
+    rel_error: f64,
+) -> StatsResult<usize> {
+    validate_confidence(confidence)?;
+    if !(rel_error > 0.0 && rel_error < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "rel_error",
+            value: rel_error,
+        });
+    }
+    let n = moments.count() as usize;
+    if n < 2 {
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            actual: n,
+        });
+    }
+    let mean = moments.mean().expect("count checked above");
+    let s = moments.std_dev().expect("count checked above");
+    if !mean.is_finite() || !s.is_finite() {
+        return Err(StatsError::NonFiniteSample);
+    }
+    if mean == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    if s == 0.0 {
+        // Deterministic data: one more sample is already enough.
+        return Ok(n);
+    }
+    let t = t_critical(n as f64 - 1.0, 1.0 - confidence)?;
+    let required = (s * t / (rel_error * mean)).powi(2);
+    Ok(required.ceil().max(2.0) as usize)
+}
+
 /// Checks whether a sample already satisfies the nonparametric stopping
 /// criterion of §4.2.2: the `1−α` CI of the median is within `±e·median`.
 ///
@@ -268,6 +314,34 @@ pub fn nonparametric_stop_check(
         });
     }
     match median_ci(xs, confidence) {
+        Ok(ci) => {
+            let tight = ci
+                .relative_half_width()
+                .map(|r| r <= rel_error)
+                .unwrap_or(false);
+            Ok(Some((ci, tight)))
+        }
+        Err(StatsError::TooFewSamples { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// [`nonparametric_stop_check`] from an incrementally maintained
+/// [`SortedSamples`] cache — the adaptive-median loop merges each new
+/// batch in O(n + b) instead of re-sorting all n samples per check.
+pub fn nonparametric_stop_check_sorted(
+    sorted: &SortedSamples,
+    confidence: f64,
+    rel_error: f64,
+) -> StatsResult<Option<(ConfidenceInterval, bool)>> {
+    validate_confidence(confidence)?;
+    if !(rel_error > 0.0 && rel_error < 1.0) {
+        return Err(StatsError::InvalidProbability {
+            name: "rel_error",
+            value: rel_error,
+        });
+    }
+    match sorted.median_ci(confidence) {
         Ok(ci) => {
             let tight = ci
                 .relative_half_width()
@@ -467,6 +541,53 @@ mod tests {
         let xs: Vec<f64> = (0..8).map(|i| (i as f64 + 1.0) * 37.0).collect();
         let (_ci, tight) = nonparametric_stop_check(&xs, 0.95, 0.01).unwrap().unwrap();
         assert!(!tight);
+    }
+
+    #[test]
+    fn moments_replan_matches_slice_replan() {
+        let xs: Vec<f64> = (0..40).map(|i| 10.0 + ((i as f64) * 1.3).sin()).collect();
+        for upto in [2, 5, 17, 40] {
+            let slice = required_samples_normal(&xs[..upto], 0.95, 0.05).unwrap();
+            let moments: OnlineMoments = xs[..upto].iter().copied().collect();
+            let online = required_samples_from_moments(&moments, 0.95, 0.05).unwrap();
+            assert_eq!(slice, online, "n={upto}");
+        }
+        // Degenerate contracts match too.
+        let constant: OnlineMoments = [5.0; 10].iter().copied().collect();
+        assert_eq!(
+            required_samples_from_moments(&constant, 0.95, 0.05).unwrap(),
+            10
+        );
+        let zero_mean: OnlineMoments = [-1.0, 1.0].iter().copied().collect();
+        assert!(matches!(
+            required_samples_from_moments(&zero_mean, 0.95, 0.05),
+            Err(StatsError::ZeroVariance)
+        ));
+        let single: OnlineMoments = [1.0].iter().copied().collect();
+        assert!(matches!(
+            required_samples_from_moments(&single, 0.95, 0.05),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        let poisoned: OnlineMoments = [1.0, f64::NAN].iter().copied().collect();
+        assert!(matches!(
+            required_samples_from_moments(&poisoned, 0.95, 0.05),
+            Err(StatsError::NonFiniteSample)
+        ));
+    }
+
+    #[test]
+    fn sorted_stop_check_matches_slice_stop_check() {
+        let xs: Vec<f64> = (0..150)
+            .map(|i| 100.0 + ((i as f64) * 0.77).sin())
+            .collect();
+        let sorted = SortedSamples::new(&xs).unwrap();
+        let a = nonparametric_stop_check(&xs, 0.95, 0.05).unwrap();
+        let b = nonparametric_stop_check_sorted(&sorted, 0.95, 0.05).unwrap();
+        assert_eq!(a, b);
+        let few = SortedSamples::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(nonparametric_stop_check_sorted(&few, 0.95, 0.05)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -11,7 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::StatsResult;
 use crate::quantile::FiveNumberSummary;
-use crate::summary::{arithmetic_mean, geometric_mean, harmonic_mean, sample_std_dev};
+use crate::sorted::SortedSamples;
+use crate::summary::HigherMoments;
 use crate::validate_samples;
 
 /// Full descriptive summary of one sample.
@@ -37,59 +38,61 @@ pub struct Description {
     pub excess_kurtosis: Option<f64>,
 }
 
-/// Sample skewness `g₁ = m₃ / m₂^{3/2}` (biased moment estimator).
+/// Sample skewness `g₁ = m₃ / m₂^{3/2}` (biased moment estimator),
+/// accumulated in a single pass.
 pub fn skewness(xs: &[f64]) -> StatsResult<Option<f64>> {
     validate_samples(xs)?;
-    if xs.len() < 3 {
-        return Ok(None);
-    }
-    let n = xs.len() as f64;
-    let mean = arithmetic_mean(xs)?;
-    let m2: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    if m2 <= 0.0 {
-        return Ok(None);
-    }
-    let m3: f64 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
-    Ok(Some(m3 / m2.powf(1.5)))
+    let m: HigherMoments = xs.iter().copied().collect();
+    Ok(m.skewness())
 }
 
-/// Excess kurtosis `g₂ = m₄ / m₂² − 3` (biased moment estimator).
+/// Excess kurtosis `g₂ = m₄ / m₂² − 3` (biased moment estimator),
+/// accumulated in a single pass.
 pub fn excess_kurtosis(xs: &[f64]) -> StatsResult<Option<f64>> {
     validate_samples(xs)?;
-    if xs.len() < 4 {
-        return Ok(None);
-    }
-    let n = xs.len() as f64;
-    let mean = arithmetic_mean(xs)?;
-    let m2: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-    if m2 <= 0.0 {
-        return Ok(None);
-    }
-    let m4: f64 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
-    Ok(Some(m4 / (m2 * m2) - 3.0))
+    let m: HigherMoments = xs.iter().copied().collect();
+    Ok(m.excess_kurtosis())
 }
 
-/// Computes the full description of a sample.
+/// Computes the full description of a sample: one streaming pass over the
+/// data ([`HigherMoments`]: all three means, variance, skewness and
+/// kurtosis) plus one sort ([`SortedSamples`]: the five-number summary) —
+/// the multi-call formulation needed six passes and a separate sort.
 pub fn describe(xs: &[f64]) -> StatsResult<Description> {
-    validate_samples(xs)?;
-    let mean = arithmetic_mean(xs)?;
-    let five_number = FiveNumberSummary::from_samples(xs)?;
-    let std_dev = if xs.len() >= 2 {
-        sample_std_dev(xs).ok()
-    } else {
-        None
-    };
+    let sorted = SortedSamples::new(xs)?;
+    let m: HigherMoments = xs.iter().copied().collect();
+    let mean = m.mean().expect("validated non-empty");
+    let std_dev = m.std_dev();
     let cov = std_dev.and_then(|s| (mean != 0.0).then(|| s / mean));
     Ok(Description {
         n: xs.len(),
         mean,
-        geometric_mean: geometric_mean(xs).ok(),
-        harmonic_mean: harmonic_mean(xs).ok(),
-        five_number,
+        geometric_mean: m.geometric_mean(),
+        harmonic_mean: m.harmonic_mean(),
+        five_number: sorted.five_number(),
         std_dev,
         cov,
-        skewness: skewness(xs)?,
-        excess_kurtosis: excess_kurtosis(xs)?,
+        skewness: m.skewness(),
+        excess_kurtosis: m.excess_kurtosis(),
+    })
+}
+
+/// [`describe`] from an already-sorted cache: zero additional sorts.
+pub fn describe_sorted(sorted: &SortedSamples) -> StatsResult<Description> {
+    let m: HigherMoments = sorted.as_slice().iter().copied().collect();
+    let mean = m.mean().expect("SortedSamples is non-empty");
+    let std_dev = m.std_dev();
+    let cov = std_dev.and_then(|s| (mean != 0.0).then(|| s / mean));
+    Ok(Description {
+        n: sorted.len(),
+        mean,
+        geometric_mean: m.geometric_mean(),
+        harmonic_mean: m.harmonic_mean(),
+        five_number: sorted.five_number(),
+        std_dev,
+        cov,
+        skewness: m.skewness(),
+        excess_kurtosis: m.excess_kurtosis(),
     })
 }
 
@@ -177,6 +180,22 @@ mod tests {
         let text = d.render();
         assert!(text.contains("median=50.5"));
         assert!(text.contains("skew="));
+    }
+
+    #[test]
+    fn describe_sorted_matches_describe() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| ((i as f64 * 0.917).cos() + 3.0) * 2.0)
+            .collect();
+        let via_slice = describe(&xs).unwrap();
+        let sorted = crate::sorted::SortedSamples::new(&xs).unwrap();
+        let via_cache = describe_sorted(&sorted).unwrap();
+        // Only the moment accumulation order differs (sorted vs input
+        // order), so the results agree to floating-point noise.
+        assert_eq!(via_slice.n, via_cache.n);
+        assert_eq!(via_slice.five_number, via_cache.five_number);
+        assert!((via_slice.mean - via_cache.mean).abs() < 1e-10);
+        assert!((via_slice.skewness.unwrap() - via_cache.skewness.unwrap()).abs() < 1e-8);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::StatsResult;
+use crate::sorted::SortedSamples;
 use crate::{sorted_copy, validate_samples};
 
 /// An empirical CDF: a right-continuous step function.
@@ -24,6 +25,13 @@ impl Ecdf {
         Ok(Self {
             sorted: sorted_copy(xs),
         })
+    }
+
+    /// Builds the ECDF from an already-sorted cache, skipping the sort.
+    pub fn from_sorted(sorted: &SortedSamples) -> Self {
+        Self {
+            sorted: sorted.as_slice().to_vec(),
+        }
     }
 
     /// Number of observations.

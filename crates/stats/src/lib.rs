@@ -57,6 +57,7 @@ pub mod quantile;
 pub mod quantreg;
 pub mod rank;
 pub mod sanitize;
+pub mod sorted;
 pub mod special;
 pub mod summary;
 

@@ -22,10 +22,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use crate::ci::{quantile_ci, ConfidenceInterval};
+use crate::bootstrap::mix_seed;
+use crate::ci::ConfidenceInterval;
 use crate::error::{StatsError, StatsResult};
 use crate::quantile::{quantile_sorted, QuantileMethod};
-use crate::{sorted_copy, validate_samples};
+use crate::sorted::SortedSamples;
+use crate::validate_samples;
 
 /// The quantile-regression estimate at one quantile τ for the two-sample
 /// (one binary factor) design of Figure 4.
@@ -80,30 +82,33 @@ pub fn two_sample(
         });
     }
 
-    let sorted_base = sorted_copy(base);
-    let sorted_other = sorted_copy(other);
-    let mut rng = StdRng::seed_from_u64(seed);
+    // Sort each group exactly once; every tau reads the shared cache
+    // (intercept CI, point estimates and bootstrap draws all work on
+    // order statistics).
+    let base_cache = SortedSamples::new(base)?;
+    let other_cache = SortedSamples::new(other)?;
 
-    // Pre-draw bootstrap quantile differences for all taus at once: for
-    // each replicate resample both groups (by index) and record the
-    // difference of each tau-quantile. To keep this O(reps · log n) rather
-    // than O(reps · n) we exploit that the quantile of a bootstrap
+    // Bootstrap quantile differences per tau. To keep this O(reps) rather
+    // than O(reps · n log n) we exploit that the quantile of a bootstrap
     // resample can be drawn directly: the tau-quantile of an iid resample
     // of sorted data is the order statistic at a Binomial(n, tau)-like
-    // rank. We use the standard "resample ranks" device: rank ~
-    // Binomial(n, tau) approximated by its normal limit for large n and
-    // exact inverse-CDF sampling for small n.
+    // rank, sampled via its normal limit. The RNG stream of replicate `r`
+    // at tau index `t` is derived only from `(seed, t, r)`, so each tau's
+    // CI is independent of which other taus are requested and of any
+    // execution order.
     let mut effects = Vec::with_capacity(taus.len());
-    for &tau in taus {
-        let intercept = quantile_ci(base, tau, confidence)?;
-        let est_base = quantile_sorted(&sorted_base, tau, QuantileMethod::Interpolated);
-        let est_other = quantile_sorted(&sorted_other, tau, QuantileMethod::Interpolated);
+    for (tau_idx, &tau) in taus.iter().enumerate() {
+        let intercept = base_cache.quantile_ci(tau, confidence)?;
+        let est_base = quantile_sorted(base_cache.as_slice(), tau, QuantileMethod::Interpolated);
+        let est_other = quantile_sorted(other_cache.as_slice(), tau, QuantileMethod::Interpolated);
         let estimate = est_other - est_base;
 
+        let tau_seed = mix_seed(seed, tau_idx as u64);
         let mut diffs = Vec::with_capacity(boot_reps);
-        for _ in 0..boot_reps {
-            let qb = bootstrap_quantile(&sorted_base, tau, &mut rng);
-            let qo = bootstrap_quantile(&sorted_other, tau, &mut rng);
+        for rep in 0..boot_reps {
+            let mut rng = StdRng::seed_from_u64(mix_seed(tau_seed, rep as u64));
+            let qb = bootstrap_quantile(base_cache.as_slice(), tau, &mut rng);
+            let qo = bootstrap_quantile(other_cache.as_slice(), tau, &mut rng);
             diffs.push(qo - qb);
         }
         diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

@@ -1,0 +1,318 @@
+//! A sort-once sample cache shared by every order-statistic consumer.
+//!
+//! Quantiles, ECDFs, nonparametric CIs and Tukey fences all start from the
+//! same ascending order statistics, yet historically each call re-sorted
+//! the raw slice. [`SortedSamples`] sorts exactly once and hands the
+//! sorted view to all of them, turning a summary that needed four
+//! `O(n log n)` sorts into one sort plus `O(1)`/`O(log n)` queries.
+//!
+//! # Invariants
+//!
+//! A constructed `SortedSamples` always holds a non-empty, ascending,
+//! all-finite sample. Every constructor and mutator validates its input,
+//! so downstream consumers (e.g. [`crate::quantile::quantile_sorted`])
+//! can rely on the invariant without re-checking.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci::{quantile_ci_ranks, ConfidenceInterval};
+use crate::error::{StatsError, StatsResult};
+use crate::outlier::TukeyFences;
+use crate::quantile::{quantile_sorted, FiveNumberSummary, QuantileMethod};
+use crate::validate_samples;
+
+/// A validated, ascending copy of a sample: sort once, query many times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SortedSamples {
+    xs: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Sorts a copy of `xs`. Errors on empty or non-finite input.
+    pub fn new(xs: &[f64]) -> StatsResult<Self> {
+        Self::from_vec(xs.to_vec())
+    }
+
+    /// Sorts `xs` in place, avoiding the copy [`SortedSamples::new`] makes.
+    pub fn from_vec(mut xs: Vec<f64>) -> StatsResult<Self> {
+        validate_samples(&xs)?;
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("samples validated finite"));
+        Ok(Self { xs })
+    }
+
+    /// Wraps data that is already ascending; errors if it is not (or is
+    /// empty / non-finite). Useful when the producer sorted already.
+    pub fn from_sorted_vec(xs: Vec<f64>) -> StatsResult<Self> {
+        validate_samples(&xs)?;
+        if xs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StatsError::InvalidGroups("input is not ascending"));
+        }
+        Ok(Self { xs })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always `false` for a constructed value (constructors reject empty
+    /// samples); present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The ascending order statistics.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.xs[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.xs[self.xs.len() - 1]
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`), without re-sorting.
+    pub fn quantile(&self, p: f64, method: QuantileMethod) -> StatsResult<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidProbability {
+                name: "p",
+                value: p,
+            });
+        }
+        Ok(quantile_sorted(&self.xs, p, method))
+    }
+
+    /// Median (interpolated), without re-sorting.
+    pub fn median(&self) -> f64 {
+        quantile_sorted(&self.xs, 0.5, QuantileMethod::Interpolated)
+    }
+
+    /// Min / quartiles / max, without re-sorting.
+    pub fn five_number(&self) -> FiveNumberSummary {
+        FiveNumberSummary {
+            min: self.min(),
+            q1: quantile_sorted(&self.xs, 0.25, QuantileMethod::Interpolated),
+            median: self.median(),
+            q3: quantile_sorted(&self.xs, 0.75, QuantileMethod::Interpolated),
+            max: self.max(),
+        }
+    }
+
+    /// Nonparametric `1−α` CI of the `p`-quantile from order-statistic
+    /// ranks — same contract as [`crate::ci::quantile_ci`], minus the sort.
+    pub fn quantile_ci(&self, p: f64, confidence: f64) -> StatsResult<ConfidenceInterval> {
+        let ranks = quantile_ci_ranks(self.xs.len(), p, confidence)?;
+        Ok(ConfidenceInterval {
+            estimate: quantile_sorted(&self.xs, p, QuantileMethod::Interpolated),
+            lower: self.xs[ranks.lower - 1],
+            upper: self.xs[ranks.upper - 1],
+            confidence,
+        })
+    }
+
+    /// Nonparametric `1−α` CI of the median, without re-sorting.
+    pub fn median_ci(&self, confidence: f64) -> StatsResult<ConfidenceInterval> {
+        self.quantile_ci(0.5, confidence)
+    }
+
+    /// The empirical CDF, without re-sorting.
+    pub fn ecdf(&self) -> crate::ecdf::Ecdf {
+        crate::ecdf::Ecdf::from_sorted(self)
+    }
+
+    /// Tukey's fences `[Q1 − c·IQR, Q3 + c·IQR]`, without re-sorting.
+    pub fn tukey_fences(&self, constant: f64) -> TukeyFences {
+        let five = self.five_number();
+        let iqr = five.iqr();
+        TukeyFences {
+            lower: five.q1 - constant * iqr,
+            upper: five.q3 + constant * iqr,
+            constant,
+        }
+    }
+
+    /// Inserts one observation at its sorted position (binary search +
+    /// shift). Errors on non-finite input and leaves the cache unchanged.
+    pub fn push(&mut self, x: f64) -> StatsResult<()> {
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteSample);
+        }
+        let at = self.xs.partition_point(|&v| v <= x);
+        self.xs.insert(at, x);
+        Ok(())
+    }
+
+    /// Merges a batch of new observations: sorts the batch (`O(b log b)`)
+    /// and merges the two runs (`O(n + b)`) — much cheaper than re-sorting
+    /// everything when batches arrive incrementally, as in the adaptive
+    /// median stopping rule. Errors on non-finite input and leaves the
+    /// cache unchanged.
+    pub fn merge_extend(&mut self, batch: &[f64]) -> StatsResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if batch.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFiniteSample);
+        }
+        let mut incoming = batch.to_vec();
+        incoming.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        let mut merged = Vec::with_capacity(self.xs.len() + incoming.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.xs.len() && j < incoming.len() {
+            if self.xs[i] <= incoming[j] {
+                merged.push(self.xs[i]);
+                i += 1;
+            } else {
+                merged.push(incoming[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.xs[i..]);
+        merged.extend_from_slice(&incoming[j..]);
+        self.xs = merged;
+        Ok(())
+    }
+
+    /// Consumes the cache, returning the sorted vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.xs
+    }
+}
+
+/// Merges pre-sorted runs into one ascending vector, deterministically:
+/// runs are merged pairwise in index order (ties taken from the
+/// lower-indexed run), so the output is a pure function of the inputs.
+///
+/// This is the reduction step of the chunked bootstrap: each chunk sorts
+/// its own resampled statistics and the merge replaces one giant
+/// `O(R log R)` sort with `O(R log k)` work for `k` chunks.
+pub fn merge_sorted_runs(mut runs: Vec<Vec<f64>>) -> Vec<f64> {
+    runs.retain(|r| !r.is_empty());
+    if runs.is_empty() {
+        return Vec::new();
+    }
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_two(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().expect("one run remains")
+}
+
+fn merge_two(a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ci::{median_ci, quantile_ci};
+    use crate::quantile::quantile;
+
+    fn sample() -> Vec<f64> {
+        (0..200)
+            .map(|i| ((i as f64 * 0.7311).sin() * 50.0) + 100.0)
+            .collect()
+    }
+
+    #[test]
+    fn matches_fresh_sort_consumers_exactly() {
+        let xs = sample();
+        let s = SortedSamples::new(&xs).unwrap();
+        assert_eq!(s.len(), xs.len());
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            for m in [QuantileMethod::Interpolated, QuantileMethod::NearestRank] {
+                assert_eq!(s.quantile(p, m).unwrap(), quantile(&xs, p, m).unwrap());
+            }
+        }
+        assert_eq!(
+            s.five_number(),
+            FiveNumberSummary::from_samples(&xs).unwrap()
+        );
+        assert_eq!(s.median_ci(0.95).unwrap(), median_ci(&xs, 0.95).unwrap());
+        assert_eq!(
+            s.quantile_ci(0.9, 0.95).unwrap(),
+            quantile_ci(&xs, 0.9, 0.95).unwrap()
+        );
+        assert_eq!(
+            s.tukey_fences(1.5),
+            TukeyFences::from_samples(&xs, 1.5).unwrap()
+        );
+        assert_eq!(s.ecdf(), crate::ecdf::Ecdf::from_samples(&xs).unwrap());
+        assert_eq!(s.min(), s.as_slice()[0]);
+        assert_eq!(s.max(), *s.as_slice().last().unwrap());
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(SortedSamples::new(&[]).is_err());
+        assert!(SortedSamples::new(&[1.0, f64::NAN]).is_err());
+        assert!(SortedSamples::from_sorted_vec(vec![2.0, 1.0]).is_err());
+        assert!(SortedSamples::from_sorted_vec(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut s = SortedSamples::new(&[5.0, 1.0, 3.0]).unwrap();
+        s.push(2.0).unwrap();
+        s.push(10.0).unwrap();
+        s.push(0.0).unwrap();
+        assert_eq!(s.as_slice(), &[0.0, 1.0, 2.0, 3.0, 5.0, 10.0]);
+        assert!(s.push(f64::INFINITY).is_err());
+        assert_eq!(s.len(), 6, "failed push must not mutate");
+    }
+
+    #[test]
+    fn merge_extend_equals_full_sort() {
+        let xs = sample();
+        let mut incremental = SortedSamples::new(&xs[..50]).unwrap();
+        incremental.merge_extend(&xs[50..140]).unwrap();
+        incremental.merge_extend(&xs[140..]).unwrap();
+        incremental.merge_extend(&[]).unwrap();
+        let full = SortedSamples::new(&xs).unwrap();
+        assert_eq!(incremental, full);
+        assert!(incremental.merge_extend(&[f64::NAN]).is_err());
+        assert_eq!(incremental.len(), xs.len());
+    }
+
+    #[test]
+    fn merge_sorted_runs_equals_global_sort() {
+        let xs = sample();
+        let mut runs = Vec::new();
+        for chunk in xs.chunks(37) {
+            let mut c = chunk.to_vec();
+            c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            runs.push(c);
+        }
+        runs.push(Vec::new()); // empty runs are tolerated
+        let merged = merge_sorted_runs(runs);
+        let mut expect = xs.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(merged, expect);
+        assert!(merge_sorted_runs(Vec::new()).is_empty());
+    }
+}

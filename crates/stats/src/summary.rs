@@ -219,6 +219,143 @@ impl FromIterator<f64> for OnlineMoments {
     }
 }
 
+/// Single-pass accumulator of the first four central moments (Pébay's
+/// update formulas) plus the log- and reciprocal-sums needed for the
+/// geometric and harmonic means.
+///
+/// This powers [`crate::describe::describe`]: one pass over the data
+/// replaces the six separate passes (three means, variance, skewness,
+/// kurtosis) the multi-call formulation needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HigherMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+    ln_sum: f64,
+    recip_sum: f64,
+    all_positive: bool,
+}
+
+impl HigherMoments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            ln_sum: 0.0,
+            recip_sum: 0.0,
+            all_positive: true,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x > 0.0 {
+            self.ln_sum += x.ln();
+            self.recip_sum += 1.0 / x;
+        } else {
+            self.all_positive = false;
+        }
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Geometric mean; `None` when empty or any observation was ≤ 0.
+    pub fn geometric_mean(&self) -> Option<f64> {
+        (self.n > 0 && self.all_positive).then(|| (self.ln_sum / self.n as f64).exp())
+    }
+
+    /// Harmonic mean; `None` when empty or any observation was ≤ 0.
+    pub fn harmonic_mean(&self) -> Option<f64> {
+        (self.n > 0 && self.all_positive).then(|| self.n as f64 / self.recip_sum)
+    }
+
+    /// Sample variance (Bessel-corrected); `None` for fewer than 2 samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n as f64 - 1.0))
+    }
+
+    /// Sample standard deviation; `None` for fewer than 2 samples.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Biased moment skewness `g₁ = m₃/m₂^{3/2}`; `None` for n < 3 or
+    /// zero variance.
+    pub fn skewness(&self) -> Option<f64> {
+        if self.n < 3 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        let m3 = self.m3 / n;
+        Some(m3 / m2.powf(1.5))
+    }
+
+    /// Biased excess kurtosis `g₂ = m₄/m₂² − 3`; `None` for n < 4 or
+    /// zero variance.
+    pub fn excess_kurtosis(&self) -> Option<f64> {
+        if self.n < 4 || self.m2 <= 0.0 {
+            return None;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        let m4 = self.m4 / n;
+        Some(m4 / (m2 * m2) - 3.0)
+    }
+
+    /// Smallest observation so far; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation so far; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl FromIterator<f64> for HigherMoments {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut m = HigherMoments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,6 +497,54 @@ mod tests {
         assert_eq!(m.mean(), None);
         assert_eq!(m.variance(), None);
         assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn higher_moments_match_batch_formulas() {
+        let xs: Vec<f64> = (1..=500)
+            .map(|i| ((i as f64 * 0.313).sin() + 2.5) * 4.0)
+            .collect();
+        let m: HigherMoments = xs.iter().copied().collect();
+        assert_eq!(m.count(), 500);
+        assert!((m.mean().unwrap() - arithmetic_mean(&xs).unwrap()).abs() < 1e-10);
+        assert!((m.variance().unwrap() - sample_variance(&xs).unwrap()).abs() < 1e-8);
+        assert!((m.geometric_mean().unwrap() - geometric_mean(&xs).unwrap()).abs() < 1e-10);
+        assert!((m.harmonic_mean().unwrap() - harmonic_mean(&xs).unwrap()).abs() < 1e-10);
+        assert_eq!(
+            m.min().unwrap(),
+            xs.iter().copied().fold(f64::INFINITY, f64::min)
+        );
+        assert_eq!(
+            m.max().unwrap(),
+            xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+        // Batch third/fourth central moments for cross-checking.
+        let n = xs.len() as f64;
+        let mean = arithmetic_mean(&xs).unwrap();
+        let m2: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        let m3: f64 = xs.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n;
+        let m4: f64 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+        assert!((m.skewness().unwrap() - m3 / m2.powf(1.5)).abs() < 1e-8);
+        assert!((m.excess_kurtosis().unwrap() - (m4 / (m2 * m2) - 3.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn higher_moments_degenerate_cases() {
+        let empty = HigherMoments::new();
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.skewness(), None);
+        let constant: HigherMoments = [5.0; 10].iter().copied().collect();
+        assert_eq!(constant.skewness(), None, "zero variance");
+        assert_eq!(constant.excess_kurtosis(), None);
+        let with_nonpositive: HigherMoments = [1.0, -2.0, 3.0].iter().copied().collect();
+        assert_eq!(with_nonpositive.geometric_mean(), None);
+        assert_eq!(with_nonpositive.harmonic_mean(), None);
+        assert!(with_nonpositive.mean().is_some());
+        let two: HigherMoments = [1.0, 2.0].iter().copied().collect();
+        assert_eq!(two.skewness(), None, "n < 3");
+        let three: HigherMoments = [1.0, 2.0, 4.0].iter().copied().collect();
+        assert_eq!(three.excess_kurtosis(), None, "n < 4");
+        assert!(three.skewness().is_some());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 
+use scibench_stats::bootstrap::{bootstrap_ci_with, bootstrap_quantile_ci, BootstrapConfig};
 use scibench_stats::ci::{mean_ci, median_ci, quantile_ci_ranks};
 use scibench_stats::dist::normal::{std_normal_cdf, std_normal_inv_cdf};
 use scibench_stats::dist::{ChiSquared, ContinuousDistribution, FisherF, StudentT};
@@ -14,6 +15,7 @@ use scibench_stats::outlier::tukey_filter;
 use scibench_stats::quantile::{quantile, FiveNumberSummary, QuantileMethod};
 use scibench_stats::quantreg::check_loss;
 use scibench_stats::rank::average_ranks;
+use scibench_stats::sorted::SortedSamples;
 use scibench_stats::summary::{
     arithmetic_mean, geometric_mean, harmonic_mean, sample_std_dev, OnlineMoments,
 };
@@ -287,5 +289,65 @@ proptest! {
             let loss = check_loss(&x, 2, &y, &cand, tau);
             prop_assert!(loss >= opt - 1e-9, "perturbed loss {loss} < optimum {opt}");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bootstrap_ci_bit_identical_across_threads_and_chunks(
+        xs in prop::collection::vec(0.1f64..1e3, 10..60),
+        reps in 10usize..300,
+        chunk in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        // The determinism contract: chunk size and thread count are pure
+        // execution knobs; every replicate's stream derives from
+        // (seed, rep) alone, so the CI is bit-identical regardless.
+        let mean = |r: &[f64]| r.iter().sum::<f64>() / r.len() as f64;
+        let reference = bootstrap_ci_with(&xs, 0.95, &BootstrapConfig::new(reps, seed), mean).unwrap();
+        for threads in [1usize, 2, 8] {
+            let tuned = bootstrap_ci_with(
+                &xs,
+                0.95,
+                &BootstrapConfig::new(reps, seed).chunk_size(chunk).threads(threads),
+                mean,
+            )
+            .unwrap();
+            prop_assert_eq!(reference.lower.to_bits(), tuned.lower.to_bits());
+            prop_assert_eq!(reference.upper.to_bits(), tuned.upper.to_bits());
+            prop_assert_eq!(reference.estimate.to_bits(), tuned.estimate.to_bits());
+        }
+    }
+
+    #[test]
+    fn bootstrap_reps_below_chunk_size_work(
+        xs in prop::collection::vec(0.1f64..1e3, 10..40),
+        reps in 10usize..200,
+        seed in any::<u64>(),
+    ) {
+        // Regression guard: fewer replicates than one chunk must still
+        // produce the same CI as any other chunking.
+        let mean = |r: &[f64]| r.iter().sum::<f64>() / r.len() as f64;
+        let small = bootstrap_ci_with(&xs, 0.95, &BootstrapConfig::new(reps, seed).chunk_size(reps + 1), mean).unwrap();
+        let reference = bootstrap_ci_with(&xs, 0.95, &BootstrapConfig::new(reps, seed), mean).unwrap();
+        prop_assert_eq!(small.lower.to_bits(), reference.lower.to_bits());
+        prop_assert_eq!(small.upper.to_bits(), reference.upper.to_bits());
+    }
+
+    #[test]
+    fn bootstrap_quantile_ci_is_deterministic_and_ordered(
+        xs in prop::collection::vec(0.1f64..1e3, 10..80),
+        p in 0.05f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let sorted = SortedSamples::new(&xs).unwrap();
+        let a = bootstrap_quantile_ci(&sorted, p, 0.95, 500, seed).unwrap();
+        let b = bootstrap_quantile_ci(&sorted, p, 0.95, 500, seed).unwrap();
+        prop_assert_eq!(a.lower.to_bits(), b.lower.to_bits());
+        prop_assert_eq!(a.upper.to_bits(), b.upper.to_bits());
+        prop_assert!(a.lower <= a.upper);
+        prop_assert!(sorted.min() <= a.lower && a.upper <= sorted.max());
     }
 }

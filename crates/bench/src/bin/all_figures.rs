@@ -9,13 +9,28 @@
 //!
 //! `SCIBENCH_SAMPLES` scales the ping-pong sample counts (default 1M,
 //! matching the paper).
+//!
+//! `--trace <path>` records a low-overhead event trace of the whole run
+//! (one [`category::FIGURE`] span per figure plus the pool's task and
+//! scheduling events), validates it, writes it as chrome://tracing JSON
+//! (or JSONL when the path ends in `.jsonl`), and prints the
+//! self-accounting harness-overhead report (Rules 4–5).
 
 use std::fs;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use scibench::parallel::pool;
 use scibench_bench::figures::*;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
+use scibench_trace::{
+    category, lane_of, to_chrome_json, to_jsonl, validate_chrome_trace, validate_jsonl, ArgValue,
+    OverheadProbe, OverheadReport, Tracer,
+};
+
+/// Figure lanes live above the pool-worker lanes (0..threads) and the
+/// campaign lanes (`1 << 16` block) so the three families never collide.
+const FIGURE_LANE_BASE: u32 = 2 << 16;
 
 /// One figure job: renders and writes its artifacts, returning the
 /// progress lines to print (in figure order) on success.
@@ -33,7 +48,15 @@ fn csv(name: &str, dataset: &scibench::data::DataSet) -> Result<String, String> 
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_path = match parse_args(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("all_figures: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(trace_path) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("all_figures: {e}");
@@ -42,12 +65,27 @@ fn main() -> ExitCode {
     }
 }
 
-fn run() -> Result<(), Box<dyn std::error::Error>> {
+fn parse_args(args: &[String]) -> Result<Option<PathBuf>, String> {
+    match args {
+        [] => Ok(None),
+        [flag, path] if flag == "--trace" => Ok(Some(PathBuf::from(path))),
+        [flag] if flag == "--trace" => Err("--trace requires a path".into()),
+        other => Err(format!(
+            "unknown arguments {other:?} (usage: all_figures [--trace <path>])"
+        )),
+    }
+}
+
+fn run(trace_path: Option<PathBuf>) -> Result<(), Box<dyn std::error::Error>> {
     let big = samples_from_env(1_000_000);
     let seed = DEFAULT_SEED;
     fs::create_dir_all(output::figures_dir())?;
+    // Probe the primitive timer/record costs *before* the run so the
+    // self-accounting report reflects an unloaded machine.
+    let tracer = trace_path.as_ref().map(|_| Tracer::new());
+    let probe = tracer.as_ref().map(|_| OverheadProbe::measure());
 
-    let jobs: Vec<(&str, FigureJob)> = vec![
+    let jobs: Vec<(&'static str, FigureJob)> = vec![
         (
             "fig1_hpl",
             Box::new(move || {
@@ -160,7 +198,20 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let results = pool::run_indexed(jobs.len(), threads, |i| (jobs[i].1)());
+    let results = pool::run_indexed_traced(jobs.len(), threads, tracer.as_ref(), |i| {
+        // Each figure gets its own lane: a job runs entirely on one
+        // worker, so the per-job lane has exactly one writer.
+        let mut lane = lane_of(tracer.as_ref(), FIGURE_LANE_BASE + i as u32);
+        let start = lane.begin();
+        let out = (jobs[i].1)();
+        lane.end(
+            start,
+            category::FIGURE,
+            jobs[i].0,
+            &[("ok", ArgValue::Bool(out.is_ok()))],
+        );
+        out
+    });
 
     // Resolve in figure order: progress lines stay stable across thread
     // counts and the first failing figure (by index) wins.
@@ -176,6 +227,53 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    if let (Some(path), Some(tracer), Some(probe)) = (&trace_path, &tracer, &probe) {
+        export_trace(path, tracer, probe)?;
+    }
+
     println!("\nall figures regenerated (seed {seed:#x}, {big} samples for 1M-sample figures)");
+    Ok(())
+}
+
+/// Drains, validates, and writes the trace, then prints the Rule 4/5
+/// self-accounting report. Every failure is a typed error (non-zero
+/// exit), including the export I/O.
+fn export_trace(
+    path: &PathBuf,
+    tracer: &Tracer,
+    probe: &OverheadProbe,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let trace = tracer.drain();
+    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let text = if jsonl {
+        to_jsonl(&trace)
+    } else {
+        to_chrome_json(&trace)
+    };
+    // Validate before writing so a malformed export never lands on disk.
+    let validated = if jsonl {
+        validate_jsonl(&text)
+    } else {
+        validate_chrome_trace(&text)
+    }
+    .map_err(|e| format!("trace failed validation: {e}"))?;
+    fs::write(path, &text).map_err(|e| format!("writing trace {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({validated} events, {})",
+        path.display(),
+        if jsonl {
+            "JSONL"
+        } else {
+            "chrome://tracing JSON"
+        }
+    );
+
+    let report = OverheadReport::from_trace(&trace, probe, category::FIGURE);
+    let rendered = report.render();
+    print!("\n{rendered}");
+    let report_path = output::figures_dir().join("harness_overhead.txt");
+    fs::write(&report_path, &rendered)
+        .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+    println!("wrote {}", report_path.display());
     Ok(())
 }

@@ -97,12 +97,23 @@ fn main() -> ExitCode {
 }
 
 fn run_benches(quick: bool) -> ExitCode {
-    let results = vec![
+    // A statistical failure in any harness arm is a typed error and a
+    // non-zero exit, never a panic (ROADMAP: crash-free bins).
+    let outcomes: Result<Vec<BenchResult>, String> = [
         bench_campaign(quick),
         bench_bootstrap_median(quick),
         bench_bootstrap_mean(quick),
         bench_sorted_quantiles(quick),
-    ];
+    ]
+    .into_iter()
+    .collect();
+    let results = match outcomes {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_baseline: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     println!(
         "{:<32} {:>12} {:>12} {:>9}",
@@ -258,7 +269,7 @@ where
     slots.into_iter().map(|s| s.unwrap()).collect()
 }
 
-fn bench_campaign(quick: bool) -> BenchResult {
+fn bench_campaign(quick: bool) -> Result<BenchResult, String> {
     // Heavy-tailed noise (CoV ≈ 0.9) forces ~100k samples per point at
     // 0.5% relative error, which is where the legacy full-vector
     // replanning goes quadratic.
@@ -296,16 +307,22 @@ fn bench_campaign(quick: bool) -> BenchResult {
         );
         assert_eq!(runs.len(), 4);
     });
+    let mut harness_err: Option<String> = None;
     let new_ns = time_best(quick, || {
-        let result = run_campaign(&design, &plan, &config, measure).unwrap();
-        assert_eq!(result.runs.len(), 4);
+        match run_campaign(&design, &plan, &config, measure) {
+            Ok(result) => assert_eq!(result.runs.len(), 4),
+            Err(e) => harness_err = Some(e.to_string()),
+        }
     });
-    BenchResult {
+    if let Some(e) = harness_err {
+        return Err(format!("campaign_adaptive_4threads: {e}"));
+    }
+    Ok(BenchResult {
         id: "campaign_adaptive_4threads",
         old_ns,
         new_ns,
         target: Some(3.0),
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -348,22 +365,32 @@ fn legacy_median_bootstrap(xs: &[f64], confidence: f64, reps: usize, seed: u64) 
     (stats[lo], stats[hi])
 }
 
-fn bench_bootstrap_median(quick: bool) -> BenchResult {
+fn bench_bootstrap_median(quick: bool) -> Result<BenchResult, String> {
     let (n, reps) = if quick { (200, 500) } else { (1_000, 10_000) };
     let xs = skewed_sample(n, 11);
-    let sorted = SortedSamples::new(&xs).unwrap();
+    let sorted =
+        SortedSamples::new(&xs).map_err(|e| format!("bootstrap_median_ci_10k: sort: {e}"))?;
     let old_ns = time_best(quick, || {
         std::hint::black_box(legacy_median_bootstrap(&xs, 0.95, reps, 42));
     });
+    let mut harness_err: Option<String> = None;
     let new_ns = time_best(quick, || {
-        std::hint::black_box(bootstrap_median_ci(&sorted, 0.95, reps, 42).unwrap());
+        match bootstrap_median_ci(&sorted, 0.95, reps, 42) {
+            Ok(ci) => {
+                std::hint::black_box(ci);
+            }
+            Err(e) => harness_err = Some(e.to_string()),
+        }
     });
-    BenchResult {
+    if let Some(e) = harness_err {
+        return Err(format!("bootstrap_median_ci_10k: {e}"));
+    }
+    Ok(BenchResult {
         id: "bootstrap_median_ci_10k",
         old_ns,
         new_ns,
         target: Some(5.0),
-    }
+    })
 }
 
 /// The legacy mean bootstrap: one sequential RNG stream, a fresh resample
@@ -383,56 +410,79 @@ fn legacy_mean_bootstrap(xs: &[f64], confidence: f64, reps: usize, seed: u64) ->
     (stats[lo], stats[hi])
 }
 
-fn bench_bootstrap_mean(quick: bool) -> BenchResult {
+fn bench_bootstrap_mean(quick: bool) -> Result<BenchResult, String> {
     let (n, reps) = if quick { (200, 500) } else { (1_000, 10_000) };
     let xs = skewed_sample(n, 12);
     let old_ns = time_best(quick, || {
         std::hint::black_box(legacy_mean_bootstrap(&xs, 0.95, reps, 42));
     });
+    let mut harness_err: Option<String> = None;
     let new_ns = time_best(quick, || {
-        let ci = bootstrap_ci(&xs, 0.95, reps, 42, |r| {
+        match bootstrap_ci(&xs, 0.95, reps, 42, |r| {
             r.iter().sum::<f64>() / r.len() as f64
-        })
-        .unwrap();
-        std::hint::black_box(ci);
+        }) {
+            Ok(ci) => {
+                std::hint::black_box(ci);
+            }
+            Err(e) => harness_err = Some(e.to_string()),
+        }
     });
-    BenchResult {
+    if let Some(e) = harness_err {
+        return Err(format!("bootstrap_mean_ci_10k: {e}"));
+    }
+    Ok(BenchResult {
         id: "bootstrap_mean_ci_10k",
         old_ns,
         new_ns,
         target: None,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
 // Pair 4: order-statistic queries through the sorted cache.
 // ---------------------------------------------------------------------
 
-fn bench_sorted_quantiles(quick: bool) -> BenchResult {
+fn bench_sorted_quantiles(quick: bool) -> Result<BenchResult, String> {
     let n = if quick { 10_000 } else { 100_000 };
     let xs = skewed_sample(n, 13);
     let ps = [0.25, 0.5, 0.75, 0.9];
+    let mut harness_err: Option<String> = None;
     let old_ns = time_best(quick, || {
         let mut acc = 0.0;
         for p in ps {
-            acc += quantile(&xs, p, QuantileMethod::Interpolated).unwrap();
+            match quantile(&xs, p, QuantileMethod::Interpolated) {
+                Ok(q) => acc += q,
+                Err(e) => harness_err = Some(e.to_string()),
+            }
         }
         std::hint::black_box(acc);
     });
     let new_ns = time_best(quick, || {
-        let sorted = SortedSamples::new(&xs).unwrap();
+        let sorted = match SortedSamples::new(&xs) {
+            Ok(s) => s,
+            Err(e) => {
+                harness_err = Some(e.to_string());
+                return;
+            }
+        };
         let mut acc = 0.0;
         for p in ps {
-            acc += sorted.quantile(p, QuantileMethod::Interpolated).unwrap();
+            match sorted.quantile(p, QuantileMethod::Interpolated) {
+                Ok(q) => acc += q,
+                Err(e) => harness_err = Some(e.to_string()),
+            }
         }
         std::hint::black_box(acc);
     });
-    BenchResult {
+    if let Some(e) = harness_err {
+        return Err(format!("sorted_quantile_queries_100k: {e}"));
+    }
+    Ok(BenchResult {
         id: "sorted_quantile_queries_100k",
         old_ns,
         new_ns,
         target: None,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -20,7 +20,9 @@
 
 use scibench_sim::rng::SimRng;
 use scibench_stats::error::{StatsError, StatsResult};
+use scibench_trace::{category, lane_of, ArgValue, Tracer};
 
+use crate::obs;
 use crate::parallel::pool;
 
 use super::design::{Design, RunPoint};
@@ -101,6 +103,28 @@ pub fn run_campaign<F>(
 where
     F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
 {
+    run_campaign_traced(design, plan, config, None, measure)
+}
+
+/// [`run_campaign`] with optional tracing.
+///
+/// When `tracer` is `Some`, each design point records on its own lane
+/// ([`obs::campaign_lane`]): one [`category::CAMPAIGN`] span covering
+/// the point's whole measurement (with its design index, sample count,
+/// convergence flag and factor levels as arguments) and one sample-count
+/// counter — both deterministic for a fixed seed and design. Tracing
+/// never touches the RNG streams or the measured values, so the result
+/// is bit-identical to the untraced run at any thread count.
+pub fn run_campaign_traced<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    tracer: Option<&Tracer>,
+    measure: F,
+) -> StatsResult<CampaignResult>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
     let points = design.full_factorial();
     if points.is_empty() {
         return Err(StatsError::EmptySample);
@@ -117,18 +141,51 @@ where
     let root = SimRng::new(config.seed);
     let run_one = |design_idx: usize| -> StatsResult<CampaignRun> {
         let point = &points[design_idx];
+        let mut lane = lane_of(tracer, obs::campaign_lane(design_idx));
+        let span = lane.begin();
         let mut rng = root.fork_indexed("campaign-point", design_idx as u64);
-        let outcome = plan.run(|| measure(point, &mut rng))?;
+        let outcome = plan.run(|| measure(point, &mut rng));
+        if lane.is_on() {
+            match &outcome {
+                Ok(out) => {
+                    lane.counter(category::CAMPAIGN, "samples", out.samples.len() as f64);
+                    lane.end(
+                        span,
+                        category::CAMPAIGN,
+                        "point",
+                        &[
+                            ("index", ArgValue::U64(design_idx as u64)),
+                            ("samples", ArgValue::U64(out.samples.len() as u64)),
+                            ("converged", ArgValue::Bool(out.converged)),
+                            ("label", ArgValue::Str(point.levels.join("/"))),
+                        ],
+                    );
+                }
+                Err(e) => {
+                    lane.end(
+                        span,
+                        category::CAMPAIGN,
+                        "point",
+                        &[
+                            ("index", ArgValue::U64(design_idx as u64)),
+                            ("failed", ArgValue::Bool(true)),
+                            ("error", ArgValue::Str(e.to_string())),
+                        ],
+                    );
+                }
+            }
+        }
         Ok(CampaignRun {
             point: point.clone(),
-            outcome,
+            outcome: outcome?,
         })
     };
 
     // The pool executes positions of the shuffled order; un-shuffle the
     // outputs back into design order before resolving outcomes, so error
     // and panic precedence is by design index, not by execution order.
-    let positioned = pool::run_indexed(order.len(), threads, |pos| run_one(order[pos]));
+    let positioned =
+        pool::run_indexed_traced(order.len(), threads, tracer, |pos| run_one(order[pos]));
     let mut by_design: Vec<Option<std::thread::Result<StatsResult<CampaignRun>>>> =
         (0..points.len()).map(|_| None).collect();
     for (pos, result) in positioned.into_iter().enumerate() {
@@ -318,6 +375,55 @@ mod tests {
         assert_eq!(*msg, "driver bug at size 64");
         // No early abort: the healthy points all executed their samples.
         assert!(ran.load(Ordering::SeqCst) >= 4 * 3 + 2);
+    }
+
+    #[test]
+    fn traced_campaign_is_bit_identical_to_untraced() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(12));
+        let config = CampaignConfig {
+            seed: 9,
+            threads: 1,
+        };
+        let plain = run_campaign(&demo_design(), &plan, &config, demo_measure).unwrap();
+        for threads in [1, 2, 8] {
+            let tracer = Tracer::new();
+            let traced = run_campaign_traced(
+                &demo_design(),
+                &plan,
+                &CampaignConfig { seed: 9, threads },
+                Some(&tracer),
+                demo_measure,
+            )
+            .unwrap();
+            assert_eq!(plain, traced, "threads={threads}");
+            let trace = tracer.drain();
+            // One CAMPAIGN point span + one samples counter per point,
+            // regardless of thread count.
+            assert_eq!(trace.count(category::CAMPAIGN), 2 * 6, "threads={threads}");
+            assert_eq!(trace.count(category::POOL), 6);
+        }
+    }
+
+    #[test]
+    fn traced_campaign_event_counts_deterministic_for_fixed_seed() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(8));
+        let counts_for = |threads: usize| {
+            let tracer = Tracer::new();
+            run_campaign_traced(
+                &demo_design(),
+                &plan,
+                &CampaignConfig { seed: 11, threads },
+                Some(&tracer),
+                demo_measure,
+            )
+            .unwrap();
+            tracer.drain().deterministic_counts()
+        };
+        let seq = counts_for(1);
+        let par = counts_for(4);
+        assert_eq!(seq, par);
+        assert!(seq.contains_key(category::CAMPAIGN));
+        assert!(!seq.contains_key(category::SCHED));
     }
 
     #[test]

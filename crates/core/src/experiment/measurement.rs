@@ -327,6 +327,7 @@ impl MeasurementOutcome {
             mean_ci,
             median_ci,
             confidence,
+            harness_overhead: None,
         })
     }
 }
@@ -373,9 +374,21 @@ pub struct MeasurementSummary {
     pub median_ci: Option<ConfidenceInterval>,
     /// The confidence level used for both CIs.
     pub confidence: f64,
+    /// Harness self-accounting (Rules 4-5): what observing this
+    /// measurement cost. `None` when the run was not traced.
+    #[serde(default)]
+    pub harness_overhead: Option<crate::obs::HarnessOverhead>,
 }
 
 impl MeasurementSummary {
+    /// Attaches the harness-overhead disclosure (builder style), so
+    /// traced campaigns can surface the Rule 4/5 self-accounting in
+    /// their reports.
+    pub fn with_harness_overhead(mut self, overhead: crate::obs::HarnessOverhead) -> Self {
+        self.harness_overhead = Some(overhead);
+        self
+    }
+
     /// Renders the summary as interpretable text.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -444,6 +457,9 @@ impl MeasurementSummary {
                 ci.lower,
                 ci.upper
             ));
+        }
+        if let Some(overhead) = &self.harness_overhead {
+            out.push_str(&overhead.render());
         }
         out
     }

@@ -36,7 +36,9 @@ use serde::{Deserialize, Serialize};
 use scibench_sim::fault::SimFault;
 use scibench_sim::rng::SimRng;
 use scibench_stats::error::StatsResult;
+use scibench_trace::{category, lane_of, ArgValue, Tracer};
 
+use crate::obs;
 use crate::parallel::pool;
 
 use super::campaign::CampaignConfig;
@@ -313,6 +315,31 @@ pub fn run_campaign_resilient<F>(
 where
     F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
 {
+    run_campaign_resilient_traced(design, plan, config, policy, None, measure)
+}
+
+/// [`run_campaign_resilient`] with optional tracing.
+///
+/// When `tracer` is `Some`, each design point records on its own lane
+/// ([`obs::campaign_lane`]): a [`category::RESILIENCE`] span per point
+/// and per attempt, instants for retries (with the charged backoff),
+/// timeouts, abandonments and contained panics, a dropped-sample
+/// counter, and one [`category::FAULT`] instant per failed measurement
+/// call. All of these derive from the seeded RNG streams, so their
+/// counts are deterministic for a fixed seed; tracing itself never
+/// touches the streams, keeping results bit-identical to the untraced
+/// runner at any thread count.
+pub fn run_campaign_resilient_traced<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    tracer: Option<&Tracer>,
+    measure: F,
+) -> Result<ResilientCampaignResult, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
     let points = design.full_factorial();
     if points.is_empty() {
         return Err(CampaignError::EmptyDesign);
@@ -335,11 +362,17 @@ where
         let mut panics_contained = 0usize;
         let mut timed_out = false;
         let mut last_error = String::from("no attempt made");
+        // The lane is borrowed both inside the measurement closure (fault
+        // instants) and between attempts, so it lives in a RefCell like
+        // the rest of the per-attempt bookkeeping.
+        let lane = RefCell::new(lane_of(tracer, obs::campaign_lane(design_idx)));
+        let point_span = lane.borrow().begin();
 
         while attempts < max_attempts {
             let attempt_idx = attempts as u64;
             attempts += 1;
             let mut rng = point_root.fork_indexed("campaign-attempt", attempt_idx);
+            let attempt_span = lane.borrow().begin();
             // Per-attempt bookkeeping lives in cells so it stays readable
             // after a contained panic.
             let calls = Cell::new(0usize);
@@ -361,6 +394,19 @@ where
                             cost
                         }
                         Err(e) => {
+                            {
+                                let mut l = lane.borrow_mut();
+                                if l.is_on() {
+                                    l.instant(
+                                        category::FAULT,
+                                        "measure-failure",
+                                        &[
+                                            ("call", ArgValue::U64(call_idx as u64)),
+                                            ("error", ArgValue::Str(e.to_string())),
+                                        ],
+                                    );
+                                }
+                            }
                             // Warmup failures cost nothing statistically;
                             // only recorded samples count as contaminated.
                             if call_idx >= plan.warmup_iterations {
@@ -374,6 +420,26 @@ where
                     }
                 })
             }));
+
+            {
+                let mut l = lane.borrow_mut();
+                l.end(
+                    attempt_span,
+                    category::RESILIENCE,
+                    "attempt",
+                    &[
+                        ("attempt", ArgValue::U64(attempt_idx)),
+                        ("ok", ArgValue::Bool(matches!(&attempt, Ok(Ok(_))))),
+                    ],
+                );
+                if attempt.is_err() {
+                    l.instant(
+                        category::RESILIENCE,
+                        "panic-contained",
+                        &[("attempt", ArgValue::U64(attempt_idx))],
+                    );
+                }
+            }
 
             match attempt {
                 Err(payload) => {
@@ -398,6 +464,22 @@ where
                     let failures = recorded_failures.get();
                     if recorded > 0 && failures as f64 <= policy.max_contamination * recorded as f64
                     {
+                        {
+                            let mut l = lane.borrow_mut();
+                            if l.is_on() {
+                                l.counter(category::RESILIENCE, "samples-dropped", failures as f64);
+                                l.end(
+                                    point_span,
+                                    category::RESILIENCE,
+                                    "point",
+                                    &[
+                                        ("index", ArgValue::U64(design_idx as u64)),
+                                        ("fate", ArgValue::Str("completed".to_string())),
+                                        ("attempts", ArgValue::U64(attempts as u64)),
+                                    ],
+                                );
+                            }
+                        }
                         return ResilientRun {
                             point: point.clone(),
                             outcome: Some(outcome),
@@ -418,6 +500,14 @@ where
             if attempts < max_attempts {
                 let backoff =
                     policy.backoff_base_ns * policy.backoff_factor.powi(attempts as i32 - 1);
+                lane.borrow_mut().instant(
+                    category::RESILIENCE,
+                    "retry",
+                    &[
+                        ("attempt", ArgValue::U64(attempts as u64)),
+                        ("backoff_ns", ArgValue::F64(backoff)),
+                    ],
+                );
                 elapsed.set(elapsed.get() + backoff.max(0.0));
                 if elapsed.get() > budget {
                     timed_out = true;
@@ -426,6 +516,27 @@ where
             }
         }
 
+        {
+            let mut l = lane.borrow_mut();
+            if l.is_on() {
+                let fate_name = if timed_out { "timeout" } else { "abandoned" };
+                l.instant(
+                    category::RESILIENCE,
+                    fate_name,
+                    &[("attempts", ArgValue::U64(attempts as u64))],
+                );
+                l.end(
+                    point_span,
+                    category::RESILIENCE,
+                    "point",
+                    &[
+                        ("index", ArgValue::U64(design_idx as u64)),
+                        ("fate", ArgValue::Str(fate_name.to_string())),
+                        ("attempts", ArgValue::U64(attempts as u64)),
+                    ],
+                );
+            }
+        }
         let fate = if timed_out {
             PointFate::TimedOut {
                 attempts,
@@ -449,7 +560,8 @@ where
     // un-shuffle back into design order. `run_one` is infallible — panics
     // in the measurement closure are already contained per attempt — so a
     // pool-level panic can only be runner infrastructure and is re-raised.
-    let positioned = pool::run_indexed(order.len(), threads, |pos| run_one(order[pos]));
+    let positioned =
+        pool::run_indexed_traced(order.len(), threads, tracer, |pos| run_one(order[pos]));
     let mut slots: Vec<Option<ResilientRun>> = (0..points.len()).map(|_| None).collect();
     for (pos, result) in positioned.into_iter().enumerate() {
         match result {
@@ -793,6 +905,87 @@ mod tests {
             }
         }
         assert!(seq.health.samples_dropped > 0 || seq.health.points_retried > 0);
+    }
+
+    #[test]
+    fn traced_resilient_campaign_matches_untraced() {
+        let faulty = |_point: &RunPoint, rng: &mut SimRng| {
+            if rng.uniform() < 0.1 {
+                Err(MeasureFailure::Fault(SimFault::LinkFailed {
+                    src: 0,
+                    dst: 1,
+                    drops: 4,
+                }))
+            } else {
+                Ok(1.0 + rng.uniform() * 0.2)
+            }
+        };
+        let plain = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(30),
+            &CampaignConfig {
+                seed: 12,
+                threads: 1,
+            },
+            &RetryPolicy::default(),
+            faulty,
+        )
+        .unwrap();
+        for threads in [1, 2, 8] {
+            let tracer = Tracer::new();
+            let traced = run_campaign_resilient_traced(
+                &demo_design(),
+                &fixed_plan(30),
+                &CampaignConfig { seed: 12, threads },
+                &RetryPolicy::default(),
+                Some(&tracer),
+                faulty,
+            )
+            .unwrap();
+            assert_eq!(plain.health, traced.health, "threads={threads}");
+            for (a, b) in plain.runs.iter().zip(&traced.runs) {
+                assert_eq!(a.fate, b.fate);
+                let (oa, ob) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+                for (x, y) in oa.samples.iter().zip(&ob.samples) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+            let trace = tracer.drain();
+            // One point span + one attempt span (+ dropped counter) per
+            // point; fault instants equal the failed measure calls.
+            assert!(trace.count(category::RESILIENCE) >= 2 * plain.runs.len());
+            let expected_faults: usize = plain.health.samples_dropped;
+            assert_eq!(
+                trace.count(category::FAULT),
+                expected_faults,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_event_counts_are_thread_invariant() {
+        let faulty = |_point: &RunPoint, rng: &mut SimRng| {
+            if rng.uniform() < 0.2 {
+                Err(MeasureFailure::Failed("flaky".into()))
+            } else {
+                Ok(1.0 + rng.uniform() * 0.1)
+            }
+        };
+        let counts_for = |threads: usize| {
+            let tracer = Tracer::new();
+            let _ = run_campaign_resilient_traced(
+                &demo_design(),
+                &fixed_plan(25),
+                &CampaignConfig { seed: 13, threads },
+                &RetryPolicy::default(),
+                Some(&tracer),
+                faulty,
+            )
+            .unwrap();
+            tracer.drain().deterministic_counts()
+        };
+        assert_eq!(counts_for(1), counts_for(4));
     }
 
     #[test]

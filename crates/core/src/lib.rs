@@ -61,6 +61,7 @@ pub mod compare;
 pub mod data;
 pub mod experiment;
 pub mod metric;
+pub mod obs;
 pub mod parallel;
 pub mod plot;
 pub mod report;

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::Mutex;
+use scibench_trace::{category, lane_of, ArgValue, Tracer};
 
 /// Runs tasks `0..n` on up to `threads` workers and returns their results
 /// in index order.
@@ -37,11 +38,60 @@ where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_traced(n, threads, None, task)
+}
+
+/// [`run_indexed`] with optional tracing.
+///
+/// When `tracer` is `Some`, each worker records on its own lane: one
+/// [`category::POOL`] span per executed task (exactly `n` at any thread
+/// count — a deterministic event stream), plus schedule-dependent
+/// [`category::SCHED`] events — a per-worker occupancy span, one steal
+/// instant per task claimed outside the worker's own range — which vary
+/// run-to-run and are excluded from determinism checks. Tracing never
+/// influences task execution or result order, so the determinism
+/// contract above is unaffected; with `tracer` `None` (or a disabled
+/// tracer) every instrumentation point is a single branch.
+pub fn run_indexed_traced<T, F>(
+    n: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    task: F,
+) -> Vec<std::thread::Result<T>>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
-        return (0..n)
-            .map(|i| catch_unwind(AssertUnwindSafe(|| task(i))))
+        let mut lane = lane_of(tracer, 0);
+        let occupancy = lane.begin();
+        let out = (0..n)
+            .map(|i| {
+                let start = lane.begin();
+                let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+                lane.end(
+                    start,
+                    category::POOL,
+                    "task",
+                    &[
+                        ("index", ArgValue::U64(i as u64)),
+                        ("stolen", ArgValue::Bool(false)),
+                    ],
+                );
+                result
+            })
             .collect();
+        lane.end(
+            occupancy,
+            category::SCHED,
+            "worker",
+            &[
+                ("tasks", ArgValue::U64(n as u64)),
+                ("steals", ArgValue::U64(0)),
+            ],
+        );
+        return out;
     }
 
     // Worker `w` owns the contiguous range `bounds[w]..bounds[w + 1]`.
@@ -59,6 +109,10 @@ where
         crossbeam::thread::scope(|scope| {
             for w in 0..threads {
                 scope.spawn(move || {
+                    let mut lane = lane_of(tracer, w as u32);
+                    let occupancy = lane.begin();
+                    let mut executed = 0u64;
+                    let mut steals = 0u64;
                     // Drain the own range first (probe 0), then steal
                     // from the neighbours in a fixed rotation.
                     for probe in 0..threads {
@@ -69,6 +123,19 @@ where
                             if i >= end {
                                 break;
                             }
+                            if probe > 0 {
+                                steals += 1;
+                                lane.instant(
+                                    category::SCHED,
+                                    "steal",
+                                    &[
+                                        ("victim", ArgValue::U64(victim as u64)),
+                                        ("index", ArgValue::U64(i as u64)),
+                                    ],
+                                );
+                            }
+                            executed += 1;
+                            let start = lane.begin();
                             match catch_unwind(AssertUnwindSafe(|| task(i))) {
                                 Ok(value) => {
                                     let fresh = slots[i].set(value).is_ok();
@@ -76,8 +143,26 @@ where
                                 }
                                 Err(payload) => panics.lock().push((i, payload)),
                             }
+                            lane.end(
+                                start,
+                                category::POOL,
+                                "task",
+                                &[
+                                    ("index", ArgValue::U64(i as u64)),
+                                    ("stolen", ArgValue::Bool(probe > 0)),
+                                ],
+                            );
                         }
                     }
+                    lane.end(
+                        occupancy,
+                        category::SCHED,
+                        "worker",
+                        &[
+                            ("tasks", ArgValue::U64(executed)),
+                            ("steals", ArgValue::U64(steals)),
+                        ],
+                    );
                 });
             }
         });
@@ -162,6 +247,59 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_tasks() {
+        use scibench_trace::category;
+        for threads in [1, 2, 8] {
+            let plain = run_indexed(25, threads, |i| i * 3);
+            let tracer = Tracer::new();
+            let traced = run_indexed_traced(25, threads, Some(&tracer), |i| i * 3);
+            let plain: Vec<usize> = plain.into_iter().map(|r| r.unwrap()).collect();
+            let traced: Vec<usize> = traced.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(plain, traced, "threads={threads}");
+            let trace = tracer.drain();
+            // Exactly one POOL task span per task at any thread count.
+            assert_eq!(trace.count(category::POOL), 25, "threads={threads}");
+            assert_eq!(
+                trace.deterministic_counts().get(category::POOL),
+                Some(&25usize)
+            );
+            // Schedule-dependent events exist (worker occupancy spans) but
+            // are excluded from the deterministic view.
+            assert!(trace.count(category::SCHED) >= 1);
+            assert!(!trace.deterministic_counts().contains_key(category::SCHED));
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        let out = run_indexed_traced(40, 4, Some(&tracer), |i| i + 1);
+        assert_eq!(out.len(), 40);
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn traced_pool_spans_carry_task_indices() {
+        use scibench_trace::{category, EventKind};
+        let tracer = Tracer::new();
+        let _ = run_indexed_traced(10, 3, Some(&tracer), |i| i);
+        let trace = tracer.drain();
+        let mut indices: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == category::POOL && matches!(e.kind, EventKind::Span { .. }))
+            .filter_map(|e| match e.arg("index") {
+                Some(scibench_trace::ArgValue::U64(i)) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..10u64).collect::<Vec<_>>());
+    }
+
+    use scibench_trace::Tracer;
 
     #[test]
     fn degenerate_shapes() {

@@ -17,6 +17,8 @@
 
 use std::convert::Infallible;
 
+use scibench_trace::{category, ArgValue, LocalTracer};
+
 use crate::alloc::Allocation;
 use crate::fault::{FaultContext, SimFault};
 use crate::machine::MachineSpec;
@@ -176,6 +178,53 @@ fn reduce_impl<E>(
     })
 }
 
+/// [`reduce`] with phase tracing: wraps the simulation in one
+/// [`category::SIM`] `"reduce"` span and records one instant per
+/// algorithmic phase — a `"fold-phase"` instant when the rank count is not
+/// a power of two (the extra phase behind the paper's §4.2 observation)
+/// and a `"tree-phase"` instant with the binomial-tree round count.
+///
+/// Tracing reads the wall clock but never touches `rng`, so the returned
+/// outcome is bit-identical to plain [`reduce`] on the same rng state, and
+/// the event *count* is a pure function of the rank count.
+pub fn reduce_traced(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    rng: &mut SimRng,
+    lane: &mut LocalTracer<'_>,
+) -> CollectiveOutcome {
+    let span = lane.begin();
+    let p = alloc.ranks();
+    let pof2 = pow2_floor(p);
+    if lane.is_on() {
+        if pof2 < p {
+            lane.instant(
+                category::SIM,
+                "fold-phase",
+                &[("remainder_ranks", ArgValue::U64((p - pof2) as u64))],
+            );
+        }
+        lane.instant(
+            category::SIM,
+            "tree-phase",
+            &[("rounds", ArgValue::U64(pof2.trailing_zeros() as u64))],
+        );
+    }
+    let out = reduce(machine, alloc, bytes, rng);
+    lane.end(
+        span,
+        category::SIM,
+        "reduce",
+        &[
+            ("ranks", ArgValue::U64(p as u64)),
+            ("bytes", ArgValue::U64(bytes as u64)),
+            ("sim_ns", ArgValue::F64(out.max_ns())),
+        ],
+    );
+    out
+}
+
 /// Simulates one binomial-tree `MPI_Bcast` from root 0 with payload
 /// `bytes`.
 pub fn broadcast(
@@ -236,6 +285,40 @@ fn broadcast_impl<E>(
     Ok(CollectiveOutcome {
         per_rank_done_ns: have,
     })
+}
+
+/// [`broadcast`] with phase tracing: one [`category::SIM`] `"broadcast"`
+/// span plus a `"tree-phase"` instant with the round count
+/// (⌈log₂ p⌉). Same determinism contract as [`reduce_traced`].
+pub fn broadcast_traced(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    bytes: usize,
+    rng: &mut SimRng,
+    lane: &mut LocalTracer<'_>,
+) -> CollectiveOutcome {
+    let span = lane.begin();
+    let p = alloc.ranks();
+    if lane.is_on() {
+        let rounds = (usize::BITS - p.saturating_sub(1).leading_zeros()) as u64;
+        lane.instant(
+            category::SIM,
+            "tree-phase",
+            &[("rounds", ArgValue::U64(rounds))],
+        );
+    }
+    let out = broadcast(machine, alloc, bytes, rng);
+    lane.end(
+        span,
+        category::SIM,
+        "broadcast",
+        &[
+            ("ranks", ArgValue::U64(p as u64)),
+            ("bytes", ArgValue::U64(bytes as u64)),
+            ("sim_ns", ArgValue::F64(out.max_ns())),
+        ],
+    );
+    out
 }
 
 /// Simulates one `MPI_Allreduce` as reduce-to-root followed by a
@@ -342,6 +425,38 @@ pub fn barrier(machine: &MachineSpec, alloc: &Allocation, rng: &mut SimRng) -> C
     unwrap_infallible(barrier_impl(alloc, &mut |src, dst| {
         Ok(net.transfer_ns(alloc.node_of[src], alloc.node_of[dst], 1, rng))
     }))
+}
+
+/// [`barrier`] with phase tracing: one [`category::SIM`] `"barrier"` span
+/// plus a `"dissemination-phase"` instant with the round count
+/// (⌈log₂ p⌉). Same determinism contract as [`reduce_traced`].
+pub fn barrier_traced(
+    machine: &MachineSpec,
+    alloc: &Allocation,
+    rng: &mut SimRng,
+    lane: &mut LocalTracer<'_>,
+) -> CollectiveOutcome {
+    let span = lane.begin();
+    let p = alloc.ranks();
+    if lane.is_on() {
+        let rounds = (usize::BITS - p.saturating_sub(1).leading_zeros()) as u64;
+        lane.instant(
+            category::SIM,
+            "dissemination-phase",
+            &[("rounds", ArgValue::U64(rounds))],
+        );
+    }
+    let out = barrier(machine, alloc, rng);
+    lane.end(
+        span,
+        category::SIM,
+        "barrier",
+        &[
+            ("ranks", ArgValue::U64(p as u64)),
+            ("sim_ns", ArgValue::F64(out.max_ns())),
+        ],
+    );
+    out
 }
 
 /// [`barrier`] on a machine with injected faults: a barrier cannot
@@ -650,6 +765,61 @@ mod tests {
         assert!(allreduce_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
         assert!(gather_faulty(&m, &a, 8, &mut ctx, &mut rng).is_ok());
         assert!(barrier_faulty(&m, &a, &mut ctx, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn traced_collectives_match_untraced_bit_for_bit() {
+        use scibench_trace::Tracer;
+        let m = MachineSpec::piz_daint();
+        let root = SimRng::new(23);
+        let mut rng_plain = root.fork("collective");
+        let mut rng_traced = root.fork("collective");
+        let a = Allocation::one_rank_per_node(&m, 13, AllocationPolicy::Packed, &mut rng_plain);
+        let a2 = Allocation::one_rank_per_node(&m, 13, AllocationPolicy::Packed, &mut rng_traced);
+        let plain = reduce(&m, &a, 8, &mut rng_plain);
+        let tracer = Tracer::new();
+        let mut lane = tracer.lane(0);
+        let traced = reduce_traced(&m, &a2, 8, &mut rng_traced, &mut lane);
+        assert_eq!(plain, traced);
+        // 13 ranks: fold phase (non-power-of-two) + tree phase + span.
+        lane.flush();
+        let trace = tracer.drain();
+        assert_eq!(trace.count(scibench_trace::category::SIM), 3);
+    }
+
+    #[test]
+    fn traced_collectives_record_nothing_when_disabled() {
+        use scibench_trace::Tracer;
+        let (m, a, mut rng) = quiet_setup(8);
+        let tracer = Tracer::disabled();
+        let mut lane = tracer.lane(0);
+        let out = reduce_traced(&m, &a, 8, &mut rng, &mut lane);
+        let (m2, a2, mut rng2) = quiet_setup(8);
+        let _ = broadcast_traced(&m2, &a2, 8, &mut rng2, &mut lane);
+        let _ = barrier_traced(&m2, &a2, &mut rng2, &mut lane);
+        assert_eq!(out.ranks(), 8);
+        lane.flush();
+        assert!(tracer.drain().is_empty());
+    }
+
+    #[test]
+    fn traced_phase_counts_are_deterministic() {
+        use scibench_trace::{category, Tracer};
+        // Power-of-two reduce: no fold phase → exactly 2 SIM events; the
+        // barrier and broadcast each add 2 (span + phase instant).
+        let tracer = Tracer::new();
+        {
+            let (m, a, mut rng) = quiet_setup(16);
+            let mut lane = tracer.lane(0);
+            let _ = reduce_traced(&m, &a, 8, &mut rng, &mut lane);
+            let _ = broadcast_traced(&m, &a, 8, &mut rng, &mut lane);
+            let _ = barrier_traced(&m, &a, &mut rng, &mut lane);
+        }
+        let trace = tracer.drain();
+        assert_eq!(trace.count(category::SIM), 6);
+        let (spans, instants, _) = trace.kind_counts();
+        assert_eq!(spans, 3);
+        assert_eq!(instants, 3);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use scibench_trace::{category, ArgValue, LocalTracer};
+
 use crate::rng::SimRng;
 
 /// A failure observed by a simulated operation.
@@ -291,6 +293,53 @@ impl FaultSchedule {
             && self.plan.link_drop_prob <= 0.0
     }
 
+    /// Records the compiled schedule as [`category::FAULT`] instants on
+    /// `lane`: one `"scheduled-crash"` / `"scheduled-straggler"` /
+    /// `"scheduled-clock-jump"` event per affected node, with the node
+    /// index and the scheduled parameters as args. The event stream is a
+    /// pure function of `(plan, nodes, seed)` — the same determinism
+    /// contract as [`FaultSchedule::compile`] — so traced runs stay
+    /// bit-identical to untraced ones and event counts are reproducible.
+    pub fn trace_schedule(&self, lane: &mut LocalTracer<'_>) {
+        if !lane.is_on() {
+            return;
+        }
+        for node in 0..self.nodes() {
+            if let Some(at_ns) = self.crash_at_ns(node) {
+                lane.instant(
+                    category::FAULT,
+                    "scheduled-crash",
+                    &[
+                        ("node", ArgValue::U64(node as u64)),
+                        ("at_sim_ns", ArgValue::F64(at_ns)),
+                    ],
+                );
+            }
+            let slowdown = self.slowdown_of(node);
+            if slowdown > 1.0 {
+                lane.instant(
+                    category::FAULT,
+                    "scheduled-straggler",
+                    &[
+                        ("node", ArgValue::U64(node as u64)),
+                        ("slowdown", ArgValue::F64(slowdown)),
+                    ],
+                );
+            }
+            if let Some(j) = self.clock_jump_of(node) {
+                lane.instant(
+                    category::FAULT,
+                    "scheduled-clock-jump",
+                    &[
+                        ("node", ArgValue::U64(node as u64)),
+                        ("at_sim_ns", ArgValue::F64(j.at_ns)),
+                        ("jump_ns", ArgValue::F64(j.jump_ns)),
+                    ],
+                );
+            }
+        }
+    }
+
     /// One-line Rule-9-style description for experiment reports.
     pub fn describe(&self) -> String {
         if self.is_trivial() {
@@ -317,6 +366,8 @@ pub struct FaultContext {
     schedule: FaultSchedule,
     coins: SimRng,
     now_ns: f64,
+    coins_drawn: u64,
+    link_drops: u64,
 }
 
 impl FaultContext {
@@ -332,6 +383,8 @@ impl FaultContext {
             schedule,
             coins: rng.fork("fault-coins"),
             now_ns: 0.0,
+            coins_drawn: 0,
+            link_drops: 0,
         }
     }
 
@@ -365,7 +418,45 @@ impl FaultContext {
         if p <= 0.0 {
             return false;
         }
-        self.coins.bernoulli(p.min(1.0))
+        self.coins_drawn += 1;
+        let dropped = self.coins.bernoulli(p.min(1.0));
+        if dropped {
+            self.link_drops += 1;
+        }
+        dropped
+    }
+
+    /// Number of link-drop coins drawn so far (one per potentially lossy
+    /// transfer attempt).
+    pub fn coins_drawn(&self) -> u64 {
+        self.coins_drawn
+    }
+
+    /// Number of those coins that came up "dropped" — the count of
+    /// injected link faults so far.
+    pub fn link_drops(&self) -> u64 {
+        self.link_drops
+    }
+
+    /// Records the context's injection tallies as [`category::FAULT`]
+    /// counters on `lane` (`"link-drop-coins"` and `"link-drops"`), plus
+    /// an `"injection-tally"` instant carrying the simulated clock. The
+    /// tallies are consumed from the dedicated coin stream, so for a fixed
+    /// seed and operation sequence they are deterministic.
+    pub fn trace_tallies(&self, lane: &mut LocalTracer<'_>) {
+        if !lane.is_on() {
+            return;
+        }
+        lane.counter(category::FAULT, "link-drop-coins", self.coins_drawn as f64);
+        lane.counter(category::FAULT, "link-drops", self.link_drops as f64);
+        lane.instant(
+            category::FAULT,
+            "injection-tally",
+            &[
+                ("sim_now_ns", ArgValue::F64(self.now_ns)),
+                ("link_drops", ArgValue::U64(self.link_drops)),
+            ],
+        );
     }
 
     /// Returns the clock jump on `node_a` or `node_b` that fired inside
@@ -509,6 +600,66 @@ mod tests {
             .map(|(n, _)| n != 0)
             .unwrap_or(true));
         assert_eq!(j.jump_ns.abs(), 500.0);
+    }
+
+    #[test]
+    fn trace_schedule_emits_one_instant_per_scheduled_fault() {
+        use scibench_trace::{category, Tracer};
+        let plan = FaultPlan::with_failure_rate(1.0);
+        let s = FaultSchedule::compile(&plan, 200, &SimRng::new(5));
+        let expected = s.crashed_nodes() + s.straggler_nodes() + s.clock_jump_nodes();
+        let tracer = Tracer::new();
+        {
+            let mut lane = tracer.lane(0);
+            s.trace_schedule(&mut lane);
+        }
+        let trace = tracer.drain();
+        assert_eq!(trace.count(category::FAULT), expected);
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn link_drop_tallies_count_coins_and_drops() {
+        use scibench_trace::{category, Tracer};
+        let plan = FaultPlan {
+            link_drop_prob: 0.5,
+            ..FaultPlan::none()
+        };
+        let rng = SimRng::new(8);
+        let mut ctx = FaultContext::new(&plan, 4, &rng);
+        for _ in 0..100 {
+            let _ = ctx.link_drop_coin();
+        }
+        assert_eq!(ctx.coins_drawn(), 100);
+        assert!(ctx.link_drops() > 10 && ctx.link_drops() < 90);
+        let tracer = Tracer::new();
+        {
+            let mut lane = tracer.lane(0);
+            ctx.trace_tallies(&mut lane);
+        }
+        let trace = tracer.drain();
+        assert_eq!(trace.count(category::FAULT), 3);
+        // Tallies replay deterministically for the same seed.
+        let mut ctx2 = FaultContext::new(&plan, 4, &rng);
+        for _ in 0..100 {
+            let _ = ctx2.link_drop_coin();
+        }
+        assert_eq!(ctx2.link_drops(), ctx.link_drops());
+    }
+
+    #[test]
+    fn disabled_lane_records_no_fault_events() {
+        use scibench_trace::Tracer;
+        let plan = FaultPlan::with_failure_rate(1.0);
+        let s = FaultSchedule::compile(&plan, 64, &SimRng::new(5));
+        let tracer = Tracer::disabled();
+        {
+            let mut lane = tracer.lane(0);
+            s.trace_schedule(&mut lane);
+            let ctx = FaultContext::from_schedule(s, &SimRng::new(5));
+            ctx.trace_tallies(&mut lane);
+        }
+        assert!(tracer.drain().is_empty());
     }
 
     #[test]

@@ -69,7 +69,9 @@ impl Ecdf {
             let idx = if m == n {
                 j
             } else {
-                (j as f64 / (m - 1) as f64 * (n - 1) as f64) as usize
+                // Clamped: float rounding must not push the thinned index
+                // past the last observation (n, m as small as 2 are legal).
+                ((j as f64 / (m - 1) as f64 * (n - 1) as f64) as usize).min(n - 1)
             };
             out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
         }

@@ -65,8 +65,15 @@ impl DensityEstimate {
         if self.x.is_empty() || x < self.x[0] || x > *self.x.last().unwrap() {
             return 0.0;
         }
+        // Degenerate single-point grid: `x` equals the only grid point.
+        if self.x.len() < 2 {
+            return self.density.first().copied().unwrap_or(0.0);
+        }
         let step = self.x[1] - self.x[0];
-        let idx = ((x - self.x[0]) / step).floor() as usize;
+        if !step.is_finite() || step <= 0.0 {
+            return self.density.first().copied().unwrap_or(0.0);
+        }
+        let idx = (((x - self.x[0]) / step).floor() as usize).min(self.x.len() - 1);
         if idx + 1 >= self.x.len() {
             return *self.density.last().unwrap();
         }
@@ -177,8 +184,10 @@ fn kde_binned(xs: &[f64], grid: &[f64], lo: f64, step: f64, h: f64) -> Vec<f64> 
     // points proportionally.
     let mut counts = vec![0.0f64; g];
     for &x in xs {
-        let pos = (x - lo) / step;
-        let i = pos.floor() as usize;
+        // Clamp before the cast: float rounding at the grid edges (or a
+        // sample exactly at `hi`) must not index one past the last bin.
+        let pos = ((x - lo) / step).clamp(0.0, (g - 1) as f64);
+        let i = (pos.floor() as usize).min(g - 1);
         let frac = pos - i as f64;
         if i + 1 < g {
             counts[i] += 1.0 - frac;

@@ -159,8 +159,9 @@ pub fn shapiro_wilk_thinned(xs: &[f64], max_n: usize) -> StatsResult<ShapiroWilk
         return shapiro_wilk(xs);
     }
     let stride = xs.len() as f64 / max_n as f64;
+    let last = xs.len() - 1;
     let thinned: Vec<f64> = (0..max_n)
-        .map(|i| xs[((i as f64 + 0.5) * stride) as usize])
+        .map(|i| xs[(((i as f64 + 0.5) * stride) as usize).min(last)])
         .collect();
     shapiro_wilk(&thinned)
 }

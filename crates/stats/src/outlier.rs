@@ -7,8 +7,21 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::error::StatsResult;
+use crate::error::{StatsError, StatsResult};
 use crate::quantile::FiveNumberSummary;
+
+/// Validates a Tukey-fence multiplier: it must be finite and
+/// non-negative, otherwise the fences invert (`lower > upper`) and every
+/// observation is silently classified as an outlier.
+pub(crate) fn validate_fence_constant(constant: f64) -> StatsResult<()> {
+    if !constant.is_finite() || constant < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "constant",
+            value: constant,
+        });
+    }
+    Ok(())
+}
 
 /// Tukey's fences: `[Q1 − c·IQR, Q3 + c·IQR]` with the conventional
 /// constant `c = 1.5` (increase for a more conservative filter).
@@ -24,7 +37,11 @@ pub struct TukeyFences {
 
 impl TukeyFences {
     /// Computes the fences for a sample with multiplier `constant`.
+    ///
+    /// Errors with [`StatsError::InvalidParameter`] when `constant` is
+    /// negative or non-finite (which would invert the fences).
     pub fn from_samples(xs: &[f64], constant: f64) -> StatsResult<Self> {
+        validate_fence_constant(constant)?;
         let s = FiveNumberSummary::from_samples(xs)?;
         let iqr = s.iqr();
         Ok(Self {

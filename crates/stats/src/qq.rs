@@ -92,8 +92,10 @@ pub fn qq_points(xs: &[f64], max_points: usize) -> StatsResult<QqPlot> {
         }
     } else {
         for j in 0..m {
-            // Evenly spaced plotting positions over the full sample.
-            let idx = ((j as f64 + 0.5) / m as f64 * n as f64) as usize;
+            // Evenly spaced plotting positions over the full sample. The
+            // float product can land exactly on `n` after rounding at
+            // adversarial sizes, so the cast is clamped to the last index.
+            let idx = (((j as f64 + 0.5) / m as f64 * n as f64) as usize).min(n - 1);
             let p = ((idx + 1) as f64 - 0.375) / (n as f64 + 0.25);
             points.push(QqPoint {
                 theoretical: std_normal_inv_cdf(p.clamp(1e-12, 1.0 - 1e-12)),

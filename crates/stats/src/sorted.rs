@@ -126,14 +126,20 @@ impl SortedSamples {
     }
 
     /// Tukey's fences `[Q1 − c·IQR, Q3 + c·IQR]`, without re-sorting.
-    pub fn tukey_fences(&self, constant: f64) -> TukeyFences {
+    ///
+    /// Errors with [`StatsError::InvalidParameter`] when `constant` is
+    /// negative or non-finite — the same contract as
+    /// [`TukeyFences::from_samples`]; a negative multiplier would invert
+    /// the fences and flag the whole sample as outliers.
+    pub fn tukey_fences(&self, constant: f64) -> StatsResult<TukeyFences> {
+        crate::outlier::validate_fence_constant(constant)?;
         let five = self.five_number();
         let iqr = five.iqr();
-        TukeyFences {
+        Ok(TukeyFences {
             lower: five.q1 - constant * iqr,
             upper: five.q3 + constant * iqr,
             constant,
-        }
+        })
     }
 
     /// Inserts one observation at its sorted position (binary search +
@@ -259,7 +265,7 @@ mod tests {
             quantile_ci(&xs, 0.9, 0.95).unwrap()
         );
         assert_eq!(
-            s.tukey_fences(1.5),
+            s.tukey_fences(1.5).unwrap(),
             TukeyFences::from_samples(&xs, 1.5).unwrap()
         );
         assert_eq!(s.ecdf(), crate::ecdf::Ecdf::from_samples(&xs).unwrap());
@@ -273,6 +279,77 @@ mod tests {
         assert!(SortedSamples::new(&[1.0, f64::NAN]).is_err());
         assert!(SortedSamples::from_sorted_vec(vec![2.0, 1.0]).is_err());
         assert!(SortedSamples::from_sorted_vec(vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn degenerate_singleton_sample_never_panics() {
+        let s = SortedSamples::new(&[42.0]).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.median(), 42.0);
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(s.quantile(p, QuantileMethod::Interpolated).unwrap(), 42.0);
+            assert_eq!(s.quantile(p, QuantileMethod::NearestRank).unwrap(), 42.0);
+        }
+        let five = s.five_number();
+        assert_eq!(five.min, five.max);
+        assert_eq!(five.iqr(), 0.0);
+        // CIs are impossible with one sample: typed error, not a panic.
+        assert!(matches!(
+            s.median_ci(0.95),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        assert!(matches!(
+            s.quantile_ci(0.9, 0.95),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        // Fences collapse to the point; ECDF is a single step.
+        let f = s.tukey_fences(1.5).unwrap();
+        assert_eq!((f.lower, f.upper), (42.0, 42.0));
+        assert!(f.contains(42.0));
+        assert_eq!(s.ecdf().eval(42.0), 1.0);
+        assert_eq!(s.ecdf().steps(10), vec![(42.0, 1.0)]);
+    }
+
+    #[test]
+    fn degenerate_pair_sample_never_panics() {
+        let s = SortedSamples::new(&[2.0, 1.0]).unwrap();
+        assert_eq!(s.as_slice(), &[1.0, 2.0]);
+        assert_eq!(s.median(), 1.5);
+        let five = s.five_number();
+        assert!(five.q1 <= five.median && five.median <= five.q3);
+        assert!(matches!(
+            s.median_ci(0.95),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        let f = s.tukey_fences(1.5).unwrap();
+        assert!(f.lower <= f.upper, "fences inverted: {f:?}");
+        let steps = s.ecdf().steps(100);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[1].1, 1.0);
+    }
+
+    #[test]
+    fn negative_or_nonfinite_fence_constant_is_a_typed_error() {
+        let s = SortedSamples::new(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        for bad in [-1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    s.tukey_fences(bad),
+                    Err(StatsError::InvalidParameter {
+                        name: "constant",
+                        ..
+                    })
+                ),
+                "constant {bad} accepted"
+            );
+            assert!(TukeyFences::from_samples(s.as_slice(), bad).is_err());
+        }
+        // Zero is legal: fences equal the quartiles.
+        let f = s.tukey_fences(0.0).unwrap();
+        let five = s.five_number();
+        assert_eq!((f.lower, f.upper), (five.q1, five.q3));
     }
 
     #[test]

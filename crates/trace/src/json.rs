@@ -1,0 +1,439 @@
+//! Minimal JSON parser and trace schema validators.
+//!
+//! The workspace vendors no JSON library, so the schema check CI runs
+//! against emitted traces is implemented here: a small recursive-descent
+//! parser (objects, arrays, strings with escapes, numbers, literals)
+//! plus validators that enforce the chrome://tracing and JSONL event
+//! shapes this crate exports.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, preserving key order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(format!("unexpected byte 0x{b:02x}")),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected '{word}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| JsonError {
+            offset: start,
+            message: "invalid utf-8 in number".into(),
+        })?;
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(JsonValue::Number(n)),
+            _ => self.err(format!("invalid number '{text}'")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex =
+                                self.bytes.get(self.pos + 1..self.pos + 5).ok_or_else(|| {
+                                    JsonError {
+                                        offset: self.pos,
+                                        message: "truncated \\u escape".into(),
+                                    }
+                                })?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| JsonError {
+                                offset: self.pos,
+                                message: "invalid \\u escape".into(),
+                            })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| JsonError {
+                                offset: self.pos,
+                                message: "invalid \\u escape".into(),
+                            })?;
+                            // Surrogates are not paired here; replace them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str upstream,
+                    // so boundaries are valid).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            offset: self.pos,
+                            message: "invalid utf-8 in string".into(),
+                        })?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// garbage is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after document");
+    }
+    Ok(v)
+}
+
+fn require_string(obj: &JsonValue, key: &str, at: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{at}: missing or non-string \"{key}\""))
+}
+
+fn require_number(obj: &JsonValue, key: &str, at: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{at}: missing or non-numeric \"{key}\""))
+}
+
+/// Validates a chrome://tracing JSON document against the event shape
+/// this crate exports: a top-level array of objects carrying `name`,
+/// `cat`, `ph` ∈ {`X`, `i`, `C`}, non-negative `ts`, `pid`, `tid`, an
+/// `args` object, a non-negative `dur` for complete events and a scope
+/// `s` for instants. Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "top level is not an array".to_string())?;
+    for (i, e) in events.iter().enumerate() {
+        let at = format!("event {i}");
+        if !matches!(e, JsonValue::Object(_)) {
+            return Err(format!("{at}: not an object"));
+        }
+        require_string(e, "name", &at)?;
+        require_string(e, "cat", &at)?;
+        let ph = require_string(e, "ph", &at)?;
+        let ts = require_number(e, "ts", &at)?;
+        require_number(e, "pid", &at)?;
+        require_number(e, "tid", &at)?;
+        if ts < 0.0 {
+            return Err(format!("{at}: negative ts"));
+        }
+        if !matches!(e.get("args"), Some(JsonValue::Object(_))) {
+            return Err(format!("{at}: missing args object"));
+        }
+        match ph.as_str() {
+            "X" => {
+                if require_number(e, "dur", &at)? < 0.0 {
+                    return Err(format!("{at}: negative dur"));
+                }
+            }
+            "i" => {
+                require_string(e, "s", &at)?;
+            }
+            "C" => {}
+            other => return Err(format!("{at}: unknown ph \"{other}\"")),
+        }
+    }
+    Ok(events.len())
+}
+
+/// Validates a JSONL trace: each non-empty line is an object carrying
+/// `cat`, `name`, non-negative `t_ns`, `lane`, `seq`, a `kind` of
+/// `span` (with `dur_ns`), `instant`, or `counter` (with `value`), and
+/// an `args` object. Returns the event count.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let at = format!("line {}", lineno + 1);
+        let e = parse(line).map_err(|err| format!("{at}: {err}"))?;
+        require_string(&e, "cat", &at)?;
+        require_string(&e, "name", &at)?;
+        if require_number(&e, "t_ns", &at)? < 0.0 {
+            return Err(format!("{at}: negative t_ns"));
+        }
+        require_number(&e, "lane", &at)?;
+        require_number(&e, "seq", &at)?;
+        if !matches!(e.get("args"), Some(JsonValue::Object(_))) {
+            return Err(format!("{at}: missing args object"));
+        }
+        match require_string(&e, "kind", &at)?.as_str() {
+            "span" => {
+                if require_number(&e, "dur_ns", &at)? < 0.0 {
+                    return Err(format!("{at}: negative dur_ns"));
+                }
+            }
+            "instant" => {}
+            "counter" => {
+                // `value` may be a quoted string for non-finite samples.
+                if e.get("value").is_none() {
+                    return Err(format!("{at}: missing \"value\""));
+                }
+            }
+            other => return Err(format!("{at}: unknown kind \"{other}\"")),
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-12.5e2").unwrap(), JsonValue::Number(-1250.0));
+        assert_eq!(
+            parse("\"a\\nb\\u0041\"").unwrap(),
+            JsonValue::String("a\nbA".into())
+        );
+        let doc = parse("{\"a\": [1, {\"b\": false}], \"c\": \"x\"}").unwrap();
+        assert_eq!(doc.get("c").and_then(JsonValue::as_str), Some("x"));
+        let arr = doc.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].get("b"), Some(&JsonValue::Bool(false)));
+        assert_eq!(parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), JsonValue::Object(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"abc", "[1]]"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn chrome_validator_enforces_shape() {
+        let good =
+            r#"[{"name":"t","cat":"pool","ph":"X","ts":1.5,"dur":2.0,"pid":0,"tid":1,"args":{}}]"#;
+        assert_eq!(validate_chrome_trace(good).unwrap(), 1);
+        let missing_dur =
+            r#"[{"name":"t","cat":"pool","ph":"X","ts":1.5,"pid":0,"tid":1,"args":{}}]"#;
+        assert!(validate_chrome_trace(missing_dur).is_err());
+        let bad_ph = r#"[{"name":"t","cat":"p","ph":"Z","ts":1,"pid":0,"tid":1,"args":{}}]"#;
+        assert!(validate_chrome_trace(bad_ph).is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn jsonl_validator_enforces_shape() {
+        let good = "{\"cat\":\"pool\",\"name\":\"t\",\"t_ns\":1,\"lane\":0,\"seq\":0,\"kind\":\"span\",\"dur_ns\":5,\"args\":{}}\n";
+        assert_eq!(validate_jsonl(good).unwrap(), 1);
+        let bad_kind = "{\"cat\":\"pool\",\"name\":\"t\",\"t_ns\":1,\"lane\":0,\"seq\":0,\"kind\":\"x\",\"args\":{}}\n";
+        assert!(validate_jsonl(bad_kind).is_err());
+        assert_eq!(validate_jsonl("\n\n").unwrap(), 0);
+    }
+}

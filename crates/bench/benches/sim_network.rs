@@ -5,6 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use scibench_sim::alloc::{Allocation, AllocationPolicy};
 use scibench_sim::collectives::{barrier, broadcast, reduce};
+use scibench_sim::compile::{CompiledSchedule, ReplayCtx};
 use scibench_sim::machine::MachineSpec;
 use scibench_sim::network::NetworkModel;
 use scibench_sim::pingpong::{pingpong_latencies_ns, PingPongConfig};
@@ -53,10 +54,41 @@ fn bench_collectives(c: &mut Criterion) {
     g.finish();
 }
 
+/// Interpreted vs compiled replay of the same reduce, head to head. The
+/// schedule is compiled and the arena allocated outside `b.iter`, so the
+/// compiled arm measures exactly the steady-state replay cost the figure
+/// pipelines pay per sample.
+fn bench_reduce_replay(c: &mut Criterion) {
+    let machine = MachineSpec::piz_daint();
+    let mut g = c.benchmark_group("reduce_replay");
+    for p in [32usize, 64, 128] {
+        let mut setup = SimRng::new(p as u64);
+        let alloc =
+            Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut setup);
+
+        g.bench_with_input(BenchmarkId::new("interpreted", p), &p, |b, _| {
+            let mut rng = SimRng::new(42);
+            b.iter(|| reduce(&machine, black_box(&alloc), 8, &mut rng))
+        });
+
+        let schedule = CompiledSchedule::compile_reduce(&machine, &alloc, 8);
+        let mut ctx = ReplayCtx::with_capacity(p);
+        g.bench_with_input(BenchmarkId::new("compiled", p), &p, |b, _| {
+            let mut rng = SimRng::new(42);
+            b.iter(|| {
+                let done = schedule.replay_into(&mut ctx, &mut rng);
+                black_box(done[0])
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_pt2pt,
     bench_pingpong_generation,
-    bench_collectives
+    bench_collectives,
+    bench_reduce_replay
 );
 criterion_main!(benches);

@@ -35,13 +35,22 @@ use rand::{Rng, SeedableRng};
 use scibench::experiment::campaign::{run_campaign, CampaignConfig};
 use scibench::experiment::design::{Design, Factor, RunPoint};
 use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench_bench::figures::fig5_reduce;
+use scibench_bench::DEFAULT_SEED;
+use scibench_sim::alloc::{Allocation, AllocationPolicy};
+use scibench_sim::compile::{CompiledSchedule, ReplayCtx};
+use scibench_sim::machine::MachineSpec;
+use scibench_sim::network::NetworkModel;
+use scibench_sim::noise::NoiseProfile;
 use scibench_sim::rng::SimRng;
 use scibench_stats::bootstrap::{bootstrap_ci, bootstrap_median_ci, mix_seed};
 use scibench_stats::ci;
-use scibench_stats::quantile::{quantile, QuantileMethod};
+use scibench_stats::dist::normal::std_normal_inv_cdf;
+use scibench_stats::quantile::{quantile, FiveNumberSummary, QuantileMethod};
 use scibench_stats::sorted::SortedSamples;
 
 const SCHEMA: &str = "scibench-bench-baseline/v1";
+const SCHEMA_SIM: &str = "scibench-bench-baseline-sim/v1";
 
 /// Benchmark ids every baseline file must contain, with their targets
 /// (`None` = informational, no threshold).
@@ -50,6 +59,13 @@ const EXPECTED: &[(&str, Option<f64>)] = &[
     ("bootstrap_median_ci_10k", Some(5.0)),
     ("bootstrap_mean_ci_10k", None),
     ("sorted_quantile_queries_100k", None),
+];
+
+/// Benchmark ids of the simulator baseline (`BENCH_sim.json`).
+const EXPECTED_SIM: &[(&str, Option<f64>)] = &[
+    ("fig5_reduce_pipeline", Some(3.0)),
+    ("sim_reduce_replay_128", Some(5.0)),
+    ("sim_barrier_replay_64", None),
 ];
 
 struct BenchResult {
@@ -87,11 +103,18 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("--quick") => run_benches(true),
-        None => run_benches(false),
-        Some(other) => {
-            eprintln!("bench_baseline: unknown argument {other}");
-            ExitCode::FAILURE
+        _ => {
+            let quick = args.iter().any(|a| a == "--quick");
+            let sim = args.iter().any(|a| a == "--sim");
+            if let Some(other) = args.iter().find(|a| *a != "--quick" && *a != "--sim") {
+                eprintln!("bench_baseline: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+            if sim {
+                run_sim_benches(quick)
+            } else {
+                run_benches(quick)
+            }
         }
     }
 }
@@ -107,6 +130,30 @@ fn run_benches(quick: bool) -> ExitCode {
     ]
     .into_iter()
     .collect();
+    report_and_write(outcomes, quick, SCHEMA, "BENCH_stats.json")
+}
+
+/// Simulator hot-path pairs: the interpreted collective engine as it
+/// existed before this PR (per-call allocations, base costs recomputed per
+/// message, the erfc-refined normal quantile behind every noise draw)
+/// versus the compiled-schedule replay engine. Writes `BENCH_sim.json`.
+fn run_sim_benches(quick: bool) -> ExitCode {
+    let outcomes: Result<Vec<BenchResult>, String> = [
+        bench_fig5_pipeline(quick),
+        bench_reduce_replay(quick),
+        bench_barrier_replay(quick),
+    ]
+    .into_iter()
+    .collect();
+    report_and_write(outcomes, quick, SCHEMA_SIM, "BENCH_sim.json")
+}
+
+fn report_and_write(
+    outcomes: Result<Vec<BenchResult>, String>,
+    quick: bool,
+    schema: &str,
+    path: &str,
+) -> ExitCode {
     let results = match outcomes {
         Ok(r) => r,
         Err(e) => {
@@ -155,12 +202,12 @@ fn run_benches(quick: bool) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let json = render_json(&results);
-    if let Err(e) = std::fs::write("BENCH_stats.json", &json) {
-        eprintln!("bench_baseline: writing BENCH_stats.json: {e}");
+    let json = render_json(&results, schema);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("bench_baseline: writing {path}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("\nwrote BENCH_stats.json");
+    println!("\nwrote {path}");
     ExitCode::SUCCESS
 }
 
@@ -486,13 +533,285 @@ fn bench_sorted_quantiles(quick: bool) -> Result<BenchResult, String> {
 }
 
 // ---------------------------------------------------------------------
+// Pairs 5-7: the simulator hot path (collective interpretation versus
+// compiled-schedule replay).
+//
+// The legacy side reimplements, verbatim in structure, the engine this PR
+// replaced: every noise draw paid the erfc-refined normal quantile (one
+// Acklam approximation plus a Halley step whose `std_normal_cdf` is an
+// iterative incomplete-gamma expansion), every message recomputed its
+// deterministic base cost from the topology, and every collective call
+// allocated fresh per-rank working vectors.
+// ---------------------------------------------------------------------
+
+/// The pre-optimization standard normal draw: inverse-CDF sampling through
+/// the *refined* quantile, exactly what `SimRng::std_normal` did before
+/// it switched to the Acklam-only fast path.
+fn legacy_std_normal(rng: &mut SimRng) -> f64 {
+    let u = rng.uniform().clamp(1e-12, 1.0 - 1e-12);
+    std_normal_inv_cdf(u)
+}
+
+/// `NoiseProfile::perturb` with the legacy normal draw — same mechanism
+/// composition and draw order, old per-draw cost.
+fn legacy_perturb(noise: &NoiseProfile, base_ns: f64, rng: &mut SimRng) -> f64 {
+    let mut t = base_ns;
+    if noise.jitter_sigma > 0.0 {
+        t *= (noise.jitter_sigma * legacy_std_normal(rng).abs()).exp();
+    }
+    if noise.slow_path_prob > 0.0 && rng.bernoulli(noise.slow_path_prob) {
+        t += noise.slow_path_extra_ns;
+    }
+    if noise.daemon_period_ns > 0.0 && noise.daemon_cost_ns > 0.0 {
+        let mean = t / noise.daemon_period_ns;
+        let hits = if mean <= 0.0 {
+            0
+        } else if mean < 30.0 {
+            let l = (-mean).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.uniform();
+                if p <= l || k > 1000 {
+                    break k;
+                }
+                k += 1;
+            }
+        } else {
+            (mean + mean.sqrt() * legacy_std_normal(rng))
+                .round()
+                .max(0.0) as u64
+        };
+        t += hits as f64 * noise.daemon_cost_ns;
+    }
+    if noise.congestion_prob > 0.0 && rng.bernoulli(noise.congestion_prob) {
+        t += rng.pareto(noise.congestion_scale_ns, noise.congestion_shape);
+    }
+    t.max(base_ns)
+}
+
+/// The legacy interpreted reduce: fold phase plus binomial tree, fresh
+/// `ready`/`done` vectors per call, base transfer cost recomputed from the
+/// topology for every message, legacy noise draws.
+fn legacy_reduce(
+    machine: &MachineSpec,
+    net: &NetworkModel<'_>,
+    alloc: &Allocation,
+    bytes: usize,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    let reduction_op_ns = 40.0 + bytes as f64 * 0.05;
+    let send_exit_ns = machine.network.injection_ns * 0.5;
+    let p = alloc.ranks();
+    let pof2 = {
+        let mut x = 1usize;
+        while x * 2 <= p {
+            x *= 2;
+        }
+        x
+    };
+    let transfer = |src: usize, dst: usize, rng: &mut SimRng| {
+        let base = net.base_transfer_ns(alloc.node_of[src], alloc.node_of[dst], bytes);
+        legacy_perturb(&machine.noise, base, rng)
+    };
+    let mut ready = vec![0.0f64; p];
+    let mut done = vec![f64::NAN; p];
+    if pof2 < p {
+        let mut fold_end = 0.0f64;
+        for r in pof2..p {
+            let dst = r - pof2;
+            let t = transfer(r, dst, rng);
+            done[r] = ready[r] + send_exit_ns;
+            ready[dst] = ready[dst].max(ready[r] + t) + reduction_op_ns;
+            fold_end = fold_end.max(ready[dst]);
+        }
+        for r in ready.iter_mut().take(pof2) {
+            *r = r.max(fold_end);
+        }
+    }
+    let mut mask = 1usize;
+    while mask < pof2 {
+        for r in 0..pof2 {
+            if r & mask != 0 && done[r].is_nan() {
+                let dst = r - mask;
+                let t = transfer(r, dst, rng);
+                done[r] = ready[r] + send_exit_ns;
+                ready[dst] = ready[dst].max(ready[r] + t) + reduction_op_ns;
+            }
+        }
+        mask <<= 1;
+    }
+    done[0] = ready[0];
+    for r in 0..p {
+        if done[r].is_nan() {
+            done[r] = ready[r];
+        }
+    }
+    done
+}
+
+/// The legacy dissemination barrier: per-round `next` vector allocated
+/// inside the round loop, base costs recomputed per message.
+fn legacy_barrier(
+    machine: &MachineSpec,
+    net: &NetworkModel<'_>,
+    alloc: &Allocation,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    let p = alloc.ranks();
+    let mut ready = vec![0.0f64; p];
+    let mut step = 1usize;
+    while step < p {
+        // The allocation this PR hoisted: one fresh vector per round.
+        let mut next = vec![0.0f64; p];
+        for (r, slot) in next.iter_mut().enumerate() {
+            let from = (r + p - step % p) % p;
+            let base = net.base_transfer_ns(alloc.node_of[from], alloc.node_of[r], 1);
+            let t = legacy_perturb(&machine.noise, base, rng);
+            *slot = ready[r].max(ready[from] + t);
+        }
+        ready = next;
+        step <<= 1;
+    }
+    ready
+}
+
+fn bench_fig5_pipeline(quick: bool) -> Result<BenchResult, String> {
+    // The whole Figure 5 campaign: 63 process counts, `runs` reductions
+    // each. Old: sequential interpreted loop. New: per-p compiled
+    // schedules replayed through per-worker arenas on the pool.
+    let runs = if quick { 40 } else { 400 };
+    let machine = MachineSpec::piz_daint();
+
+    let old_ns = time_best(quick, || {
+        let net = NetworkModel::new(&machine);
+        let root = SimRng::new(DEFAULT_SEED);
+        let mut medians = Vec::new();
+        for p in 2..=64usize {
+            let mut rng = root.fork_indexed("fig5", p as u64);
+            let alloc =
+                Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
+            let mut completion_us = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let done = legacy_reduce(&machine, &net, &alloc, 8, &mut rng);
+                let max_ns = done.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                completion_us.push(max_ns * 1e-3);
+            }
+            medians.push(
+                FiveNumberSummary::from_samples(&completion_us)
+                    .map(|s| s.median)
+                    .unwrap_or(f64::NAN),
+            );
+        }
+        std::hint::black_box(medians);
+    });
+
+    let mut harness_err: Option<String> = None;
+    let new_ns = time_best(quick, || match fig5_reduce::compute(runs, DEFAULT_SEED) {
+        Ok(fig) => {
+            std::hint::black_box(fig.points.len());
+        }
+        Err(e) => harness_err = Some(e.to_string()),
+    });
+    if let Some(e) = harness_err {
+        return Err(format!("fig5_reduce_pipeline: {e}"));
+    }
+    Ok(BenchResult {
+        id: "fig5_reduce_pipeline",
+        old_ns,
+        new_ns,
+        target: Some(3.0),
+    })
+}
+
+fn bench_reduce_replay(quick: bool) -> Result<BenchResult, String> {
+    // A single compiled reduce at p = 128, replayed back to back — the
+    // simulator's innermost hot loop, no campaign machinery around it.
+    let reps = if quick { 500 } else { 20_000 };
+    let machine = MachineSpec::piz_daint();
+    let root = SimRng::new(5);
+    let mut alloc_rng = root.fork("alloc");
+    let alloc =
+        Allocation::one_rank_per_node(&machine, 128, AllocationPolicy::Random, &mut alloc_rng);
+    let net = NetworkModel::new(&machine);
+
+    let old_ns = time_best(quick, || {
+        let mut rng = root.fork("samples");
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let done = legacy_reduce(&machine, &net, &alloc, 8, &mut rng);
+            acc += done[0];
+        }
+        std::hint::black_box(acc);
+    });
+
+    let schedule = CompiledSchedule::compile_reduce(&machine, &alloc, 8);
+    let new_ns = time_best(quick, || {
+        let mut rng = root.fork("samples");
+        let mut ctx = ReplayCtx::with_capacity(128);
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let done = schedule.replay_into(&mut ctx, &mut rng);
+            acc += done[0];
+        }
+        std::hint::black_box(acc);
+    });
+    Ok(BenchResult {
+        id: "sim_reduce_replay_128",
+        old_ns,
+        new_ns,
+        target: Some(5.0),
+    })
+}
+
+fn bench_barrier_replay(quick: bool) -> Result<BenchResult, String> {
+    // Barrier at p = 64: p messages per round make the per-round `next`
+    // allocation the legacy engine paid clearly visible.
+    let reps = if quick { 200 } else { 5_000 };
+    let machine = MachineSpec::piz_daint();
+    let root = SimRng::new(6);
+    let mut alloc_rng = root.fork("alloc");
+    let alloc =
+        Allocation::one_rank_per_node(&machine, 64, AllocationPolicy::Random, &mut alloc_rng);
+    let net = NetworkModel::new(&machine);
+
+    let old_ns = time_best(quick, || {
+        let mut rng = root.fork("samples");
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let done = legacy_barrier(&machine, &net, &alloc, &mut rng);
+            acc += done[0];
+        }
+        std::hint::black_box(acc);
+    });
+
+    let schedule = CompiledSchedule::compile_barrier(&machine, &alloc);
+    let new_ns = time_best(quick, || {
+        let mut rng = root.fork("samples");
+        let mut ctx = ReplayCtx::with_capacity(64);
+        let mut acc = 0.0;
+        for _ in 0..reps {
+            let done = schedule.replay_into(&mut ctx, &mut rng);
+            acc += done[0];
+        }
+        std::hint::black_box(acc);
+    });
+    Ok(BenchResult {
+        id: "sim_barrier_replay_64",
+        old_ns,
+        new_ns,
+        target: None,
+    })
+}
+
+// ---------------------------------------------------------------------
 // JSON emission and verification (hand-rolled: no JSON dependency).
 // ---------------------------------------------------------------------
 
-fn render_json(results: &[BenchResult]) -> String {
+fn render_json(results: &[BenchResult], schema: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"schema\": \"{schema}\",");
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -531,11 +850,20 @@ fn field_number(obj: &str, key: &str) -> Option<f64> {
 
 fn verify(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading: {e}"))?;
-    if !text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
-        return Err(format!("schema marker {SCHEMA:?} not found"));
-    }
+    // Dispatch on the schema marker: one binary verifies both the stats
+    // and the simulator baseline files.
+    let expected: &[(&str, Option<f64>)] =
+        if text.contains(&format!("\"schema\": \"{SCHEMA_SIM}\"")) {
+            EXPECTED_SIM
+        } else if text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+            EXPECTED
+        } else {
+            return Err(format!(
+                "no known schema marker ({SCHEMA:?} or {SCHEMA_SIM:?}) found"
+            ));
+        };
     let mut report = String::from("baseline OK:\n");
-    for (id, target) in EXPECTED {
+    for (id, target) in expected {
         let marker = format!("\"id\": \"{id}\"");
         let at = text
             .find(&marker)

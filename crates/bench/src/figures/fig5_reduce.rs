@@ -7,10 +7,11 @@
 //! phase for the remainder ranks.
 
 use scibench::data::DataSet;
+use scibench::parallel::pool;
 use scibench::parallel::{collapse_repetition, CrossProcessSummary};
 use scibench::plot::series::Series;
 use scibench_sim::alloc::{Allocation, AllocationPolicy};
-use scibench_sim::collectives::reduce;
+use scibench_sim::compile::{CompiledSchedule, ReplayCtx};
 use scibench_sim::machine::MachineSpec;
 use scibench_sim::rng::SimRng;
 use scibench_stats::ci::median_ci;
@@ -41,28 +42,54 @@ pub struct Fig5 {
 
 /// Runs the Figure 5 campaign: `runs` reductions at each process count in
 /// 2..=64.
+///
+/// Each process count compiles its reduce once into a
+/// [`CompiledSchedule`] and replays it `runs` times through a per-worker
+/// [`ReplayCtx`] arena, so the hot loop does zero heap allocations. Every
+/// `p` draws from its own `fork_indexed("fig5", p)` stream, so results are
+/// bit-identical to the interpreted loop and invariant under the number of
+/// pool threads.
 pub fn compute(runs: usize, seed: u64) -> StatsResult<Fig5> {
     let machine = MachineSpec::piz_daint();
     let root = SimRng::new(seed);
-    let mut points = Vec::new();
-    for p in 2..=64usize {
-        let mut rng = root.fork_indexed("fig5", p as u64);
-        // Same allocation reused across runs (§4.1.2: "all other
-        // experiments were repeated in the same allocation").
-        let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
-        let mut completion_us = Vec::with_capacity(runs);
-        for _ in 0..runs {
-            let outcome = reduce(&machine, &alloc, 8, &mut rng);
-            let max_ns = collapse_repetition(&outcome.per_rank_done_ns, CrossProcessSummary::Max)?;
-            completion_us.push(max_ns * 1e-3);
+    let ps: Vec<usize> = (2..=64).collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let computed = pool::run_indexed_scoped(
+        ps.len(),
+        threads,
+        ReplayCtx::new,
+        |ctx, i| -> StatsResult<ReducePoint> {
+            let p = ps[i];
+            let mut rng = root.fork_indexed("fig5", p as u64);
+            // Same allocation reused across runs (§4.1.2: "all other
+            // experiments were repeated in the same allocation").
+            let alloc =
+                Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
+            let schedule = CompiledSchedule::compile_reduce(&machine, &alloc, 8);
+            let mut completion_us = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let done = schedule.replay_into(ctx, &mut rng);
+                let max_ns = collapse_repetition(done, CrossProcessSummary::Max)?;
+                completion_us.push(max_ns * 1e-3);
+            }
+            let summary = FiveNumberSummary::from_samples(&completion_us)?;
+            Ok(ReducePoint {
+                p,
+                power_of_two: p.is_power_of_two(),
+                completion_us,
+                summary,
+            })
+        },
+    );
+    let mut points = Vec::with_capacity(ps.len());
+    for slot in computed {
+        match slot {
+            Ok(point) => points.push(point?),
+            Err(payload) => std::panic::resume_unwind(payload),
         }
-        let summary = FiveNumberSummary::from_samples(&completion_us)?;
-        points.push(ReducePoint {
-            p,
-            power_of_two: p.is_power_of_two(),
-            completion_us,
-            summary,
-        });
     }
     Ok(Fig5 { points, runs })
 }

@@ -11,7 +11,7 @@ use scibench::parallel::{summarize_across_processes, ProcessAnalysis};
 use scibench::plot::ascii::render_box;
 use scibench::plot::boxplot::{BoxPlotStats, WhiskerRule};
 use scibench_sim::alloc::{Allocation, AllocationPolicy};
-use scibench_sim::collectives::reduce;
+use scibench_sim::compile::{CompiledSchedule, ReplayCtx};
 use scibench_sim::machine::MachineSpec;
 use scibench_sim::rng::SimRng;
 use scibench_stats::error::StatsResult;
@@ -35,10 +35,15 @@ pub fn compute(p: usize, runs: usize, seed: u64) -> StatsResult<Fig6> {
     let mut rng = SimRng::new(seed).fork("fig6");
     let alloc = Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, &mut rng);
 
+    // Compile the reduce once and replay it per run: the per-run loop
+    // allocates nothing and draws noise in exactly the interpreter's
+    // order, so the samples are bit-identical to calling `reduce` here.
+    let schedule = CompiledSchedule::compile_reduce(&machine, &alloc, 8);
+    let mut ctx = ReplayCtx::with_capacity(p);
     let mut per_rank_us: Vec<Vec<f64>> = vec![Vec::with_capacity(runs); p];
     for _ in 0..runs {
-        let outcome = reduce(&machine, &alloc, 8, &mut rng);
-        for (r, &t) in outcome.per_rank_done_ns.iter().enumerate() {
+        let done = schedule.replay_into(&mut ctx, &mut rng);
+        for (r, &t) in done.iter().enumerate() {
             per_rank_us[r].push(t * 1e-3);
         }
     }

@@ -136,7 +136,7 @@ fn bench_collective_campaign(c: &mut Criterion) {
                     let p: usize = point.level(0).parse::<f64>().unwrap() as usize;
                     let alloc =
                         Allocation::one_rank_per_node(&machine, p, AllocationPolicy::Random, rng);
-                    reduce(&machine, &alloc, 8, rng).max_ns()
+                    reduce(&machine, &alloc, 8, rng).max_ns().unwrap()
                 },
             )
             .unwrap()

@@ -125,6 +125,54 @@ pub fn run_campaign_traced<F>(
 where
     F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
 {
+    run_campaign_scoped_traced(
+        design,
+        plan,
+        config,
+        tracer,
+        || (),
+        |(), point, rng| measure(point, rng),
+    )
+}
+
+/// [`run_campaign`] with a per-worker scratch state.
+///
+/// `init` builds one private scratch value per pool lane (see
+/// [`pool::run_indexed_scoped`]); `measure` receives `&mut S` alongside
+/// the point and its stream. This lets hot measurement loops reuse
+/// per-lane arenas — e.g. a compiled-schedule replay context — with no
+/// cross-thread sharing and no per-sample allocation. Results stay
+/// bit-identical to [`run_campaign`] at any thread count as long as the
+/// measured values do not depend on scratch contents carried across
+/// points.
+pub fn run_campaign_scoped<S, I, F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    init: I,
+    measure: F,
+) -> StatsResult<CampaignResult>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    run_campaign_scoped_traced(design, plan, config, None, init, measure)
+}
+
+/// [`run_campaign_scoped`] with optional tracing (same event contract as
+/// [`run_campaign_traced`]).
+pub fn run_campaign_scoped_traced<S, I, F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    tracer: Option<&Tracer>,
+    init: I,
+    measure: F,
+) -> StatsResult<CampaignResult>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &RunPoint, &mut SimRng) -> f64 + Sync,
+{
     let points = design.full_factorial();
     if points.is_empty() {
         return Err(StatsError::EmptySample);
@@ -139,12 +187,12 @@ where
     order_rng.shuffle(&mut order);
 
     let root = SimRng::new(config.seed);
-    let run_one = |design_idx: usize| -> StatsResult<CampaignRun> {
+    let run_one = |scratch: &mut S, design_idx: usize| -> StatsResult<CampaignRun> {
         let point = &points[design_idx];
         let mut lane = lane_of(tracer, obs::campaign_lane(design_idx));
         let span = lane.begin();
         let mut rng = root.fork_indexed("campaign-point", design_idx as u64);
-        let outcome = plan.run(|| measure(point, &mut rng));
+        let outcome = plan.run(|| measure(scratch, point, &mut rng));
         if lane.is_on() {
             match &outcome {
                 Ok(out) => {
@@ -185,7 +233,9 @@ where
     // outputs back into design order before resolving outcomes, so error
     // and panic precedence is by design index, not by execution order.
     let positioned =
-        pool::run_indexed_traced(order.len(), threads, tracer, |pos| run_one(order[pos]));
+        pool::run_indexed_scoped_traced(order.len(), threads, tracer, init, |scratch, pos| {
+            run_one(scratch, order[pos])
+        });
     let mut by_design: Vec<Option<std::thread::Result<StatsResult<CampaignRun>>>> =
         (0..points.len()).map(|_| None).collect();
     for (pos, result) in positioned.into_iter().enumerate() {
@@ -424,6 +474,38 @@ mod tests {
         assert_eq!(seq, par);
         assert!(seq.contains_key(category::CAMPAIGN));
         assert!(!seq.contains_key(category::SCHED));
+    }
+
+    #[test]
+    fn scoped_campaign_is_bit_identical_to_plain() {
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(12));
+        let plain = run_campaign(
+            &demo_design(),
+            &plan,
+            &CampaignConfig {
+                seed: 13,
+                threads: 1,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        for threads in [1, 2, 8] {
+            let scoped = run_campaign_scoped(
+                &demo_design(),
+                &plan,
+                &CampaignConfig { seed: 13, threads },
+                || Vec::<f64>::with_capacity(16),
+                |arena, point, rng| {
+                    // The arena is reused across samples and points but
+                    // never influences the measured value.
+                    arena.clear();
+                    arena.push(rng.seed() as f64);
+                    demo_measure(point, rng)
+                },
+            )
+            .unwrap();
+            assert_eq!(plain, scoped, "threads={threads}");
+        }
     }
 
     #[test]

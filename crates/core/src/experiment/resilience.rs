@@ -340,6 +340,51 @@ pub fn run_campaign_resilient_traced<F>(
 where
     F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
 {
+    run_campaign_resilient_scoped_traced(
+        design,
+        plan,
+        config,
+        policy,
+        tracer,
+        || (),
+        |(), point, rng| measure(point, rng),
+    )
+}
+
+/// [`run_campaign_resilient`] with a per-worker scratch state (see
+/// [`crate::experiment::campaign::run_campaign_scoped`] for the scratch
+/// ownership contract).
+pub fn run_campaign_resilient_scoped<S, I, F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    init: I,
+    measure: F,
+) -> Result<ResilientCampaignResult, CampaignError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
+    run_campaign_resilient_scoped_traced(design, plan, config, policy, None, init, measure)
+}
+
+/// [`run_campaign_resilient_scoped`] with optional tracing (same event
+/// contract as [`run_campaign_resilient_traced`]).
+#[allow(clippy::too_many_arguments)] // mirrors the traced + scoped variants
+pub fn run_campaign_resilient_scoped_traced<S, I, F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    tracer: Option<&Tracer>,
+    init: I,
+    measure: F,
+) -> Result<ResilientCampaignResult, CampaignError>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
     let points = design.full_factorial();
     if points.is_empty() {
         return Err(CampaignError::EmptyDesign);
@@ -354,7 +399,7 @@ where
     order_rng.shuffle(&mut order);
 
     let root = SimRng::new(config.seed);
-    let run_one = |design_idx: usize| -> ResilientRun {
+    let run_one = |scratch: &mut S, design_idx: usize| -> ResilientRun {
         let point = &points[design_idx];
         let point_root = root.fork_indexed("campaign-point", design_idx as u64);
         let elapsed = Cell::new(0.0f64);
@@ -388,7 +433,7 @@ where
                         overran.set(true);
                         return f64::NAN;
                     }
-                    match measure(point, &mut rng) {
+                    match measure(&mut *scratch, point, &mut rng) {
                         Ok(cost) => {
                             elapsed.set(elapsed.get() + cost.max(0.0));
                             cost
@@ -561,7 +606,9 @@ where
     // in the measurement closure are already contained per attempt — so a
     // pool-level panic can only be runner infrastructure and is re-raised.
     let positioned =
-        pool::run_indexed_traced(order.len(), threads, tracer, |pos| run_one(order[pos]));
+        pool::run_indexed_scoped_traced(order.len(), threads, tracer, init, |scratch, pos| {
+            run_one(scratch, order[pos])
+        });
     let mut slots: Vec<Option<ResilientRun>> = (0..points.len()).map(|_| None).collect();
     for (pos, result) in positioned.into_iter().enumerate() {
         match result {
@@ -1003,6 +1050,49 @@ mod tests {
         assert!(CampaignError::EmptyDesign
             .to_string()
             .contains("zero points"));
+    }
+
+    #[test]
+    fn scoped_resilient_campaign_is_bit_identical_to_plain() {
+        // A per-worker scratch buffer must not change any result bit:
+        // point-level RNG forks are independent of scheduling and scratch.
+        let plain = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(20),
+            &CampaignConfig {
+                seed: 7,
+                threads: 1,
+            },
+            &RetryPolicy::default(),
+            clean_measure,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 8] {
+            let scoped = run_campaign_resilient_scoped(
+                &demo_design(),
+                &fixed_plan(20),
+                &CampaignConfig { seed: 7, threads },
+                &RetryPolicy::default(),
+                || Vec::<f64>::with_capacity(32),
+                |scratch, point, rng| {
+                    scratch.clear();
+                    scratch.push(0.0); // exercise the arena without touching rng
+                    let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+                    Ok(base + scratch[0] + rng.uniform() * 0.01)
+                },
+            )
+            .unwrap();
+            assert_eq!(plain.runs.len(), scoped.runs.len());
+            for (a, b) in plain.runs.iter().zip(&scoped.runs) {
+                let xs = &a.outcome.as_ref().unwrap().samples;
+                let ys = &b.outcome.as_ref().unwrap().samples;
+                assert_eq!(
+                    xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    ys.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

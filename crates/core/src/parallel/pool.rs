@@ -41,6 +41,31 @@ where
     run_indexed_traced(n, threads, None, task)
 }
 
+/// [`run_indexed`] with a per-worker scratch state.
+///
+/// `init` runs once on each worker (lane) to build its private scratch
+/// value `S`, and every task executed by that worker receives `&mut S`.
+/// This is how hot loops reuse arenas — e.g. a
+/// `scibench_sim::compile::ReplayCtx` per lane — without any cross-thread
+/// sharing: each scratch value is owned by exactly one worker for the
+/// whole call. The determinism contract of [`run_indexed`] is unchanged
+/// *provided* the task's output does not depend on scratch contents
+/// carried across tasks (an arena of reusable buffers qualifies; an
+/// accumulator does not).
+pub fn run_indexed_scoped<S, T, I, F>(
+    n: usize,
+    threads: usize,
+    init: I,
+    task: F,
+) -> Vec<std::thread::Result<T>>
+where
+    T: Send + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_indexed_scoped_traced(n, threads, None, init, task)
+}
+
 /// [`run_indexed`] with optional tracing.
 ///
 /// When `tracer` is `Some`, each worker records on its own lane: one
@@ -62,14 +87,32 @@ where
     T: Send + Sync,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_scoped_traced(n, threads, tracer, || (), |(), i| task(i))
+}
+
+/// [`run_indexed_scoped`] with optional tracing (see
+/// [`run_indexed_traced`] for the event contract).
+pub fn run_indexed_scoped_traced<S, T, I, F>(
+    n: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    init: I,
+    task: F,
+) -> Vec<std::thread::Result<T>>
+where
+    T: Send + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
         let mut lane = lane_of(tracer, 0);
         let occupancy = lane.begin();
+        let mut scratch = init();
         let out = (0..n)
             .map(|i| {
                 let start = lane.begin();
-                let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+                let result = catch_unwind(AssertUnwindSafe(|| task(&mut scratch, i)));
                 lane.end(
                     start,
                     category::POOL,
@@ -106,11 +149,13 @@ where
         let slots = &slots;
         let panics = &panics;
         let task = &task;
+        let init = &init;
         crossbeam::thread::scope(|scope| {
             for w in 0..threads {
                 scope.spawn(move || {
                     let mut lane = lane_of(tracer, w as u32);
                     let occupancy = lane.begin();
+                    let mut scratch = init();
                     let mut executed = 0u64;
                     let mut steals = 0u64;
                     // Drain the own range first (probe 0), then steal
@@ -136,7 +181,7 @@ where
                             }
                             executed += 1;
                             let start = lane.begin();
-                            match catch_unwind(AssertUnwindSafe(|| task(i))) {
+                            match catch_unwind(AssertUnwindSafe(|| task(&mut scratch, i))) {
                                 Ok(value) => {
                                     let fresh = slots[i].set(value).is_ok();
                                     debug_assert!(fresh, "index {i} claimed twice");
@@ -300,6 +345,35 @@ mod tests {
     }
 
     use scibench_trace::Tracer;
+
+    #[test]
+    fn scoped_scratch_is_per_worker_and_reused() {
+        // Each worker gets its own Vec arena; tasks record the arena
+        // address to prove no cross-thread sharing, and results must be
+        // identical to the unscoped run at every thread count.
+        for threads in [1, 2, 8] {
+            let out = run_indexed_scoped(
+                50,
+                threads,
+                || Vec::<u64>::with_capacity(64),
+                |arena, i| {
+                    arena.clear();
+                    arena.extend((0..=i as u64).map(|x| x * x));
+                    (arena.as_ptr() as usize, arena.iter().sum::<u64>())
+                },
+            );
+            let plain = run_indexed(50, threads, |i| (0..=i as u64).map(|x| x * x).sum::<u64>());
+            let mut arenas = std::collections::HashSet::new();
+            for (i, (r, p)) in out.into_iter().zip(plain).enumerate() {
+                let (ptr, sum) = r.unwrap();
+                assert_eq!(sum, p.unwrap(), "threads={threads} task={i}");
+                arenas.insert(ptr);
+            }
+            // At most one arena per worker (reallocation can add a few,
+            // but never one per task).
+            assert!(arenas.len() <= threads.max(1) * 2, "threads={threads}");
+        }
+    }
 
     #[test]
     fn degenerate_shapes() {

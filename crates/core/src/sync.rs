@@ -63,7 +63,8 @@ pub fn barrier_sync_start(
     rng: &mut SimRng,
 ) -> SyncOutcome {
     let outcome = collectives::barrier(machine, alloc, rng);
-    let protocol_end_ns = outcome.max_ns();
+    // p >= 1 is asserted by the collective, so the outcome is never empty.
+    let protocol_end_ns = outcome.max_ns().unwrap_or(0.0);
     SyncOutcome {
         start_global_ns: outcome.per_rank_done_ns,
         protocol_end_ns,
@@ -119,7 +120,7 @@ pub fn window_sync_start(
     // Phase 2: broadcast the deadline (master-local clock time).
     let deadline_master_local = clocks.clock(0).local_from_global(global_now) + window_ns;
     let bcast = collectives::broadcast(machine, alloc, 8, rng);
-    let protocol_end_ns = global_now + bcast.max_ns();
+    let protocol_end_ns = global_now + bcast.max_ns().unwrap_or(0.0);
 
     // Phase 3: every rank waits until the deadline on its own clock.
     let mut start_global_ns = Vec::with_capacity(p);

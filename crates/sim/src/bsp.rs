@@ -113,7 +113,8 @@ pub fn bsp_run(
         // done (the collective's internal skew is modeled by the
         // collective itself).
         let sync = allreduce(machine, alloc, config.allreduce_bytes, rng);
-        let iter_end = compute_end + sync.max_ns();
+        // p >= 1 is asserted by the collective, so the outcome is never empty.
+        let iter_end = compute_end + sync.max_ns().unwrap_or(0.0);
         for r in 0..p {
             // Waiting = everything that is not own compute.
             wait_ns[r] += iter_end - finish[r];

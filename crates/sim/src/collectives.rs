@@ -42,17 +42,16 @@ pub struct CollectiveOutcome {
 }
 
 impl CollectiveOutcome {
-    /// Completion time of the whole operation (slowest rank).
-    pub fn max_ns(&self) -> f64 {
-        self.per_rank_done_ns.iter().cloned().fold(0.0, f64::max)
+    /// Completion time of the whole operation (slowest rank), or `None`
+    /// for an empty outcome (no participating ranks).
+    pub fn max_ns(&self) -> Option<f64> {
+        self.per_rank_done_ns.iter().cloned().reduce(f64::max)
     }
 
-    /// Earliest rank to leave the operation.
-    pub fn min_ns(&self) -> f64 {
-        self.per_rank_done_ns
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min)
+    /// Earliest rank to leave the operation, or `None` for an empty
+    /// outcome.
+    pub fn min_ns(&self) -> Option<f64> {
+        self.per_rank_done_ns.iter().cloned().reduce(f64::min)
     }
 
     /// Number of participating ranks.
@@ -63,18 +62,18 @@ impl CollectiveOutcome {
 
 /// Cost of merging two partial reduction values of `bytes` payload
 /// (local compute per tree merge), nanoseconds.
-fn reduction_op_ns(bytes: usize) -> f64 {
+pub(crate) fn reduction_op_ns(bytes: usize) -> f64 {
     40.0 + bytes as f64 * 0.05
 }
 
 /// Cost for a sender to consider its part done after handing the message
 /// to the NIC (it does not wait for delivery), nanoseconds.
-fn send_exit_ns(machine: &MachineSpec) -> f64 {
+pub(crate) fn send_exit_ns(machine: &MachineSpec) -> f64 {
     machine.network.injection_ns * 0.5
 }
 
 /// Largest power of two ≤ `p` (p ≥ 1).
-fn pow2_floor(p: usize) -> usize {
+pub(crate) fn pow2_floor(p: usize) -> usize {
     let mut v = 1usize;
     while v * 2 <= p {
         v *= 2;
@@ -116,8 +115,9 @@ pub fn reduce_faulty(
 }
 
 /// Shared reduce algorithm over an arbitrary (possibly fallible)
-/// rank-to-rank transfer function.
-fn reduce_impl<E>(
+/// rank-to-rank transfer function. Also the single source of truth for
+/// the *message order* that [`crate::compile`] records and replays.
+pub(crate) fn reduce_impl<E>(
     machine: &MachineSpec,
     alloc: &Allocation,
     bytes: usize,
@@ -219,7 +219,7 @@ pub fn reduce_traced(
         &[
             ("ranks", ArgValue::U64(p as u64)),
             ("bytes", ArgValue::U64(bytes as u64)),
-            ("sim_ns", ArgValue::F64(out.max_ns())),
+            ("sim_ns", ArgValue::F64(out.max_ns().unwrap_or(0.0))),
         ],
     );
     out
@@ -253,8 +253,9 @@ pub fn broadcast_faulty(
     })
 }
 
-/// Shared broadcast algorithm over an arbitrary transfer function.
-fn broadcast_impl<E>(
+/// Shared broadcast algorithm over an arbitrary transfer function. Also
+/// the source of the message order recorded by [`crate::compile`].
+pub(crate) fn broadcast_impl<E>(
     alloc: &Allocation,
     transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
 ) -> Result<CollectiveOutcome, E> {
@@ -315,7 +316,7 @@ pub fn broadcast_traced(
         &[
             ("ranks", ArgValue::U64(p as u64)),
             ("bytes", ArgValue::U64(bytes as u64)),
-            ("sim_ns", ArgValue::F64(out.max_ns())),
+            ("sim_ns", ArgValue::F64(out.max_ns().unwrap_or(0.0))),
         ],
     );
     out
@@ -453,7 +454,7 @@ pub fn barrier_traced(
         "barrier",
         &[
             ("ranks", ArgValue::U64(p as u64)),
-            ("sim_ns", ArgValue::F64(out.max_ns())),
+            ("sim_ns", ArgValue::F64(out.max_ns().unwrap_or(0.0))),
         ],
     );
     out
@@ -474,23 +475,27 @@ pub fn barrier_faulty(
 }
 
 /// Shared dissemination-barrier algorithm over an arbitrary transfer
-/// function.
-fn barrier_impl<E>(
+/// function. Also the source of the message order recorded by
+/// [`crate::compile`].
+pub(crate) fn barrier_impl<E>(
     alloc: &Allocation,
     transfer: &mut dyn FnMut(usize, usize) -> Result<f64, E>,
 ) -> Result<CollectiveOutcome, E> {
     let p = alloc.ranks();
     assert!(p >= 1, "barrier requires at least one rank");
+    // Double-buffered rounds: every slot of `next` is overwritten each
+    // round, so the two buffers can be allocated once and swapped instead
+    // of allocating a fresh `next` per round.
     let mut ready = vec![0.0f64; p];
+    let mut next = vec![0.0f64; p];
     let mut step = 1usize;
     while step < p {
-        let mut next = vec![0.0f64; p];
         for r in 0..p {
             let from = (r + p - step % p) % p;
             let t = transfer(from, r)?;
             next[r] = ready[r].max(ready[from] + t);
         }
-        ready = next;
+        std::mem::swap(&mut ready, &mut next);
         step <<= 1;
     }
     Ok(CollectiveOutcome {
@@ -525,7 +530,7 @@ mod tests {
         let (m, a, mut rng) = quiet_setup(1);
         let out = reduce(&m, &a, 8, &mut rng);
         assert_eq!(out.ranks(), 1);
-        assert_eq!(out.max_ns(), 0.0);
+        assert_eq!(out.max_ns(), Some(0.0));
     }
 
     #[test]
@@ -546,7 +551,7 @@ mod tests {
             .iter()
             .map(|&p| {
                 let (m, a, mut rng) = quiet_setup(p);
-                reduce(&m, &a, 8, &mut rng).max_ns()
+                reduce(&m, &a, 8, &mut rng).max_ns().unwrap()
             })
             .collect();
         for w in times.windows(2) {
@@ -562,15 +567,15 @@ mod tests {
     fn non_power_of_two_pays_extra_phase() {
         let t8 = {
             let (m, a, mut rng) = quiet_setup(8);
-            reduce(&m, &a, 8, &mut rng).max_ns()
+            reduce(&m, &a, 8, &mut rng).max_ns().unwrap()
         };
         let t9 = {
             let (m, a, mut rng) = quiet_setup(9);
-            reduce(&m, &a, 8, &mut rng).max_ns()
+            reduce(&m, &a, 8, &mut rng).max_ns().unwrap()
         };
         let t16 = {
             let (m, a, mut rng) = quiet_setup(16);
-            reduce(&m, &a, 8, &mut rng).max_ns()
+            reduce(&m, &a, 8, &mut rng).max_ns().unwrap()
         };
         // 9 ranks must cost more than 8 — and even more than 16 (the fold
         // serializes before the tree).
@@ -586,7 +591,7 @@ mod tests {
         for (r, &t) in out.per_rank_done_ns.iter().enumerate().skip(1) {
             assert!(t <= root, "rank {r} finished after root: {t} > {root}");
         }
-        assert_eq!(out.max_ns(), root);
+        assert_eq!(out.max_ns(), Some(root));
     }
 
     #[test]
@@ -608,8 +613,8 @@ mod tests {
         // Depth is ceil(log2 13) = 4 messages on the longest path.
         let net = NetworkModel::new(&m);
         let one_msg = net.base_transfer_ns(0, 1, 64);
-        assert!(out.max_ns() <= 4.0 * one_msg + 1e-9);
-        assert!(out.max_ns() >= one_msg);
+        assert!(out.max_ns().unwrap() <= 4.0 * one_msg + 1e-9);
+        assert!(out.max_ns().unwrap() >= one_msg);
     }
 
     #[test]
@@ -628,7 +633,7 @@ mod tests {
     fn barrier_synchronizes_all_ranks_tightly() {
         let (m, a, mut rng) = quiet_setup(7);
         let out = barrier(&m, &a, &mut rng);
-        let spread = out.max_ns() - out.min_ns();
+        let spread = out.max_ns().unwrap() - out.min_ns().unwrap();
         // On a quiet uniform machine all ranks leave simultaneously.
         assert!(spread < 1e-9, "spread = {spread}");
     }
@@ -640,13 +645,13 @@ mod tests {
         let (m2, a2, mut rng2) = quiet_setup(16);
         let red = reduce(&m2, &a2, 8, &mut rng2);
         // Everyone finishes after the root's reduce time (plus bcast).
-        assert!(all.min_ns() >= red.max_ns());
+        assert!(all.min_ns().unwrap() >= red.max_ns().unwrap());
         assert_eq!(all.ranks(), 16);
         // And roughly reduce + bcast on the critical path.
         let bcast_depth = 4.0; // log2(16)
         let net = NetworkModel::new(&m);
         let one = net.base_transfer_ns(0, 1, 8);
-        assert!(all.max_ns() <= red.max_ns() + bcast_depth * one + 1e-6);
+        assert!(all.max_ns().unwrap() <= red.max_ns().unwrap() + bcast_depth * one + 1e-6);
     }
 
     #[test]
@@ -656,7 +661,7 @@ mod tests {
         // at most the broadcast arrival spread.
         let (m, a, mut rng) = quiet_setup(8);
         let all = allreduce(&m, &a, 8, &mut rng);
-        let spread = all.max_ns() - all.min_ns();
+        let spread = all.max_ns().unwrap() - all.min_ns().unwrap();
         let net = NetworkModel::new(&m);
         let one = net.base_transfer_ns(0, 1, 8);
         // The root (rank 0) already holds the result when the broadcast
@@ -696,8 +701,8 @@ mod tests {
         let m = MachineSpec::piz_daint();
         let mut rng = SimRng::new(9);
         let a = Allocation::one_rank_per_node(&m, 64, AllocationPolicy::Random, &mut rng);
-        let t1 = reduce(&m, &a, 8, &mut rng).max_ns();
-        let t2 = reduce(&m, &a, 8, &mut rng).max_ns();
+        let t1 = reduce(&m, &a, 8, &mut rng).max_ns().unwrap();
+        let t2 = reduce(&m, &a, 8, &mut rng).max_ns().unwrap();
         assert_ne!(t1, t2);
         // Magnitudes in the paper's Figure 5 ballpark (µs, not ms).
         assert!(t1 > 2_000.0 && t1 < 100_000.0, "t1 = {t1}");
@@ -747,10 +752,10 @@ mod tests {
         let mut ctx = FaultContext::new(&plan, m2.nodes, &SimRng::new(3));
         let slowed = reduce_faulty(&m2, &a2, 8, &mut ctx, &mut rng2).unwrap();
         assert!(
-            slowed.max_ns() > healthy.max_ns() * 2.0,
+            slowed.max_ns().unwrap() > healthy.max_ns().unwrap() * 2.0,
             "healthy {} slowed {}",
-            healthy.max_ns(),
-            slowed.max_ns()
+            healthy.max_ns().unwrap(),
+            slowed.max_ns().unwrap()
         );
     }
 

@@ -22,6 +22,9 @@
 //! - [`collectives`]: binomial-tree reduce/broadcast, allreduce, gather
 //!   and dissemination barrier with per-rank completion times (Figures 5
 //!   and 6),
+//! - [`compile`]: collectives lowered once per campaign point into flat
+//!   message programs replayed with zero per-sample allocations,
+//!   bit-identical to the interpreter,
 //! - [`pingpong`]: two-node latency benchmark (Figures 2, 3, 4 and 7(c)),
 //! - [`fault`]: deterministic fault injection (node crashes, stragglers,
 //!   flaky links, clock jumps) for resilience experiments,
@@ -40,6 +43,7 @@
 pub mod alloc;
 pub mod bsp;
 pub mod collectives;
+pub mod compile;
 pub mod drift;
 pub mod fault;
 pub mod hpl;
@@ -51,6 +55,7 @@ pub mod pingpong;
 pub mod rng;
 pub mod topology;
 
+pub use compile::{CollectiveOp, CompiledSchedule, ReplayCtx};
 pub use fault::{FaultContext, FaultPlan, FaultSchedule, SimFault};
 pub use machine::{MachineSpec, NetworkSpec, NodeSpec};
 pub use rng::SimRng;

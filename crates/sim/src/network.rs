@@ -77,12 +77,31 @@ impl<'m> NetworkModel<'m> {
         ctx: &mut FaultContext,
         rng: &mut SimRng,
     ) -> Result<f64, SimFault> {
+        let base = self.base_transfer_ns(src, dst, bytes);
+        self.transfer_faulty_from_base_ns(src, dst, base, ctx, rng)
+    }
+
+    /// [`NetworkModel::transfer_faulty_ns`] with the deterministic base
+    /// cost precomputed by the caller — the hot-path entry point used by
+    /// the ping-pong loop and the compiled-schedule replayer, which hoist
+    /// [`NetworkModel::base_transfer_ns`] out of their sample loops.
+    /// `base_ns` must equal `base_transfer_ns(src, dst, bytes)` for the
+    /// message this transfer models; noise and fault draws are then
+    /// bit-identical to the recomputing variant.
+    pub fn transfer_faulty_from_base_ns(
+        &self,
+        src: usize,
+        dst: usize,
+        base_ns: f64,
+        ctx: &mut FaultContext,
+        rng: &mut SimRng,
+    ) -> Result<f64, SimFault> {
         for node in [src, dst] {
             if let Some(fault) = ctx.crashed(node) {
                 return Err(fault);
             }
         }
-        let mut t = self.transfer_ns(src, dst, bytes, rng);
+        let mut t = self.machine.noise.perturb(base_ns, rng);
         let schedule = ctx.schedule();
         let slowdown = schedule.slowdown_of(src).max(schedule.slowdown_of(dst));
         t *= slowdown;
@@ -95,7 +114,7 @@ impl<'m> NetworkModel<'m> {
                 return Err(SimFault::LinkFailed { src, dst, drops });
             }
             // Resend: pay the penalty plus another (deterministic) transfer.
-            t += retransmit_penalty_ns + self.base_transfer_ns(src, dst, bytes) * slowdown;
+            t += retransmit_penalty_ns + base_ns * slowdown;
         }
         ctx.advance(t);
         Ok(t)

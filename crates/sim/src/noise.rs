@@ -78,6 +78,7 @@ impl NoiseProfile {
     /// (slow path, daemons, congestion). The result is never below
     /// `base_ns` ("most system effects lead to increased execution
     /// times", §3.1.3).
+    #[inline]
     pub fn perturb(&self, base_ns: f64, rng: &mut SimRng) -> f64 {
         debug_assert!(base_ns >= 0.0);
         let mut t = base_ns;
@@ -113,6 +114,7 @@ impl NoiseProfile {
 /// Exact Poisson via inversion for small means (the common case: an OS
 /// daemon rarely hits a microsecond-scale interval), normal approximation
 /// for large means (long compute phases).
+#[inline]
 fn sample_poissonish(mean: f64, rng: &mut SimRng) -> u64 {
     if mean <= 0.0 {
         return 0;

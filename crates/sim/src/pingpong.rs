@@ -59,10 +59,15 @@ pub fn pingpong_latencies_ns(
     rng: &mut SimRng,
 ) -> Vec<f64> {
     let net = NetworkModel::new(machine);
+    // The deterministic base cost depends only on (endpoints, bytes), so it
+    // is hoisted out of the sample loop; per-sample work is noise draws
+    // only. Draw order is unchanged, so results stay bit-identical.
+    let base_fwd = net.base_transfer_ns(config.node_a, config.node_b, config.bytes);
+    let base_bwd = net.base_transfer_ns(config.node_b, config.node_a, config.bytes);
     let mut out = Vec::with_capacity(config.samples);
     for i in 0..config.samples {
-        let fwd = net.transfer_ns(config.node_a, config.node_b, config.bytes, rng);
-        let bwd = net.transfer_ns(config.node_b, config.node_a, config.bytes, rng);
+        let fwd = machine.noise.perturb(base_fwd, rng);
+        let bwd = machine.noise.perturb(base_bwd, rng);
         let mut sample = 0.5 * (fwd + bwd);
         if i < config.warmup_iterations {
             sample *= config.warmup_factor;
@@ -95,12 +100,19 @@ pub fn pingpong_latencies_faulty_ns(
     rng: &mut SimRng,
 ) -> Vec<Result<f64, SimFault>> {
     let net = NetworkModel::new(machine);
+    // Same base-cost hoist as the fault-free loop: fault coins and noise
+    // draws are untouched, so faultless samples stay bit-identical.
+    let base_fwd = net.base_transfer_ns(config.node_a, config.node_b, config.bytes);
+    let base_bwd = net.base_transfer_ns(config.node_b, config.node_a, config.bytes);
     let mut out = Vec::with_capacity(config.samples);
     for i in 0..config.samples {
         let started_ns = ctx.now_ns();
-        let fwd = net.transfer_faulty_ns(config.node_a, config.node_b, config.bytes, ctx, rng);
+        let fwd =
+            net.transfer_faulty_from_base_ns(config.node_a, config.node_b, base_fwd, ctx, rng);
         let bwd = match fwd {
-            Ok(_) => net.transfer_faulty_ns(config.node_b, config.node_a, config.bytes, ctx, rng),
+            Ok(_) => {
+                net.transfer_faulty_from_base_ns(config.node_b, config.node_a, base_bwd, ctx, rng)
+            }
             Err(e) => Err(e),
         };
         let sample = match (fwd, bwd) {

@@ -88,7 +88,7 @@ proptest! {
         prop_assert_eq!(out.ranks(), p);
         prop_assert!(out.per_rank_done_ns.iter().all(|t| t.is_finite() && *t >= 0.0));
         // Root finishes last on a quiet machine.
-        prop_assert!((out.per_rank_done_ns[0] - out.max_ns()).abs() < 1e-9);
+        prop_assert!((out.per_rank_done_ns[0] - out.max_ns().unwrap()).abs() < 1e-9);
     }
 
     #[test]
@@ -104,7 +104,7 @@ proptest! {
             let net = NetworkModel::new(&m);
             let one = net.base_transfer_ns(0, 1, 64);
             let depth = (p as f64).log2().ceil();
-            prop_assert!(out.max_ns() <= depth * one + 1e-6);
+            prop_assert!(out.max_ns().unwrap() <= depth * one + 1e-6);
         }
     }
 
@@ -115,7 +115,7 @@ proptest! {
         let alloc = Allocation::one_rank_per_node(&m, p, AllocationPolicy::Packed, &mut rng);
         let out = barrier(&m, &alloc, &mut rng);
         // All ranks leave together on a uniform quiet crossbar.
-        prop_assert!(out.max_ns() - out.min_ns() < 1e-9);
+        prop_assert!(out.max_ns().unwrap() - out.min_ns().unwrap() < 1e-9);
     }
 
     #[test]
@@ -126,7 +126,7 @@ proptest! {
             let mut rng = SimRng::new(seed);
             let alloc =
                 Allocation::one_rank_per_node(&m, ranks, AllocationPolicy::Packed, &mut rng);
-            reduce(&m, &alloc, 8, &mut rng).max_ns()
+            reduce(&m, &alloc, 8, &mut rng).max_ns().unwrap()
         };
         prop_assert!(run(p) <= run(p + 1));
     }

@@ -15,11 +15,23 @@
 //! scheduling events), validates it, writes it as chrome://tracing JSON
 //! (or JSONL when the path ends in `.jsonl`), and prints the
 //! self-accounting harness-overhead report (Rules 4–5).
+//!
+//! `--journal <path>` records each completed figure in a crash-consistent
+//! journal ([`scibench::experiment::journal`]); `--resume` replays the
+//! journal first and skips every figure already completed by an earlier
+//! (possibly killed) invocation, re-printing its cached progress lines.
+//! Without `--resume` an existing journal is discarded and the run starts
+//! fresh. The journal is keyed to the sample count, seed and crate
+//! version, so a stale journal from a different configuration is refused
+//! rather than silently reused.
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Mutex;
 
+use scibench::experiment::journal::{point_key, Journal, JournalKey, JournalMeta, PointRecord};
+use scibench::experiment::{Design, Factor, PointFate, RunPoint};
 use scibench::parallel::pool;
 use scibench_bench::figures::*;
 use scibench_bench::{output, samples_from_env, DEFAULT_SEED};
@@ -47,16 +59,28 @@ fn csv(name: &str, dataset: &scibench::data::DataSet) -> Result<String, String> 
     Ok(format!("wrote {}", path.display()))
 }
 
+/// Journal identity: a journal written by a different crate version must
+/// never be resumed (the figure code may have changed).
+const CODE_VERSION: &str = concat!("all-figures-", env!("CARGO_PKG_VERSION"));
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+struct CliArgs {
+    trace: Option<PathBuf>,
+    journal: Option<PathBuf>,
+    resume: bool,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_path = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("all_figures: {e}");
             return ExitCode::from(2);
         }
     };
-    match run(trace_path) {
+    match run(cli) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("all_figures: {e}");
@@ -65,18 +89,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_args(args: &[String]) -> Result<Option<PathBuf>, String> {
-    match args {
-        [] => Ok(None),
-        [flag, path] if flag == "--trace" => Ok(Some(PathBuf::from(path))),
-        [flag] if flag == "--trace" => Err("--trace requires a path".into()),
-        other => Err(format!(
-            "unknown arguments {other:?} (usage: all_figures [--trace <path>])"
-        )),
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => {
+                cli.trace = Some(PathBuf::from(it.next().ok_or("--trace requires a path")?));
+            }
+            "--journal" => {
+                cli.journal = Some(PathBuf::from(it.next().ok_or("--journal requires a path")?));
+            }
+            "--resume" => cli.resume = true,
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} \
+                     (usage: all_figures [--trace <path>] [--journal <path> [--resume]])"
+                ))
+            }
+        }
     }
+    if cli.resume && cli.journal.is_none() {
+        return Err("--resume requires --journal <path>".into());
+    }
+    Ok(cli)
 }
 
-fn run(trace_path: Option<PathBuf>) -> Result<(), Box<dyn std::error::Error>> {
+/// Per-run durability state when `--journal` is active.
+struct FigureJournal {
+    /// The open journal; figures append from pool threads.
+    journal: Mutex<Journal>,
+    /// Content-addressed key per figure (by job index).
+    keys: Vec<JournalKey>,
+    /// Progress lines of figures already completed in an earlier
+    /// invocation (by job index); `None` means the figure must run.
+    cached: Vec<Option<Vec<String>>>,
+}
+
+fn run(cli: CliArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = cli.trace;
     let big = samples_from_env(1_000_000);
     let seed = DEFAULT_SEED;
     fs::create_dir_all(output::figures_dir())?;
@@ -195,6 +246,47 @@ fn run(trace_path: Option<PathBuf>) -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
+    let figure_journal = match &cli.journal {
+        None => None,
+        Some(path) => {
+            if !cli.resume {
+                // A fresh (non-resume) run must not silently absorb an
+                // old journal's records.
+                match fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(format!("removing stale {}: {e}", path.display()).into()),
+                }
+            }
+            // One synthetic factor whose levels are the figure names: the
+            // journal machinery then keys each figure like a design point.
+            let names: Vec<&str> = jobs.iter().map(|(name, _)| *name).collect();
+            let design = Design::new(vec![Factor::new("figure", &names)]);
+            let meta = JournalMeta::new(&design, seed, CODE_VERSION, &format!("samples={big}"));
+            let (journal, snapshot) = Journal::open_resume(path, &meta)?;
+            let keys: Vec<JournalKey> = names
+                .iter()
+                .map(|name| {
+                    point_key(
+                        &meta,
+                        &RunPoint {
+                            levels: vec![(*name).to_owned()],
+                        },
+                    )
+                })
+                .collect();
+            let cached: Vec<Option<Vec<String>>> = keys
+                .iter()
+                .map(|k| snapshot.record_for(*k).map(|r| r.notes.clone()))
+                .collect();
+            Some(FigureJournal {
+                journal: Mutex::new(journal),
+                keys,
+                cached,
+            })
+        }
+    };
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -203,7 +295,14 @@ fn run(trace_path: Option<PathBuf>) -> Result<(), Box<dyn std::error::Error>> {
         // worker, so the per-job lane has exactly one writer.
         let mut lane = lane_of(tracer.as_ref(), FIGURE_LANE_BASE + i as u32);
         let start = lane.begin();
-        let out = (jobs[i].1)();
+        let out = match &figure_journal {
+            Some(ctx) => match &ctx.cached[i] {
+                // Completed by an earlier invocation: replay, don't rerun.
+                Some(notes) => Ok(notes.clone()),
+                None => run_journaled(ctx, i, jobs[i].0, &jobs[i].1),
+            },
+            None => (jobs[i].1)(),
+        };
         lane.end(
             start,
             category::FIGURE,
@@ -227,12 +326,58 @@ fn run(trace_path: Option<PathBuf>) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    if let (Some(ctx), Some(path)) = (&figure_journal, &cli.journal) {
+        ctx.journal.lock().expect("journal lock poisoned").sync()?;
+        let replayed = ctx.cached.iter().filter(|c| c.is_some()).count();
+        println!(
+            "journal {}: {replayed} figures replayed, {} executed",
+            path.display(),
+            jobs.len() - replayed
+        );
+    }
+
     if let (Some(path), Some(tracer), Some(probe)) = (&trace_path, &tracer, &probe) {
         export_trace(path, tracer, probe)?;
     }
 
     println!("\nall figures regenerated (seed {seed:#x}, {big} samples for 1M-sample figures)");
     Ok(())
+}
+
+/// Runs one figure under the journal: `begin` frame before, completed
+/// [`PointRecord`] (with the progress lines as replayable notes) after.
+/// A figure that fails writes no record, so a rerun retries it.
+fn run_journaled(
+    ctx: &FigureJournal,
+    index: usize,
+    name: &str,
+    job: &FigureJob,
+) -> Result<Vec<String>, String> {
+    let key = ctx.keys[index];
+    ctx.journal
+        .lock()
+        .expect("journal lock poisoned")
+        .append_begin(index, key)
+        .map_err(|e| e.to_string())?;
+    let messages = job()?;
+    let record = PointRecord {
+        index,
+        key,
+        levels: vec![name.to_owned()],
+        fate: PointFate::Completed {
+            attempts: 1,
+            samples_dropped: 0,
+        },
+        panics_contained: 0,
+        outcome: None,
+        notes: messages.clone(),
+    };
+    ctx.journal
+        .lock()
+        .expect("journal lock poisoned")
+        .append_point(&record)
+        .map_err(|e| e.to_string())?;
+    Ok(messages)
 }
 
 /// Drains, validates, and writes the trace, then prints the Rule 4/5

@@ -1,0 +1,1131 @@
+//! Crash-consistent campaign journal: an append-only, CRC-framed JSONL
+//! write-ahead log of per-design-point results.
+//!
+//! Long, fault-injected campaigns (see [`super::resilience`]) can die at
+//! design point 900/1000 — from an OOM kill, an operator `kill -9`, a
+//! machine reboot — and the paper's Rule 3 (results must be repeatable
+//! and complete) is violated if that loses everything. The journal makes
+//! campaign progress durable:
+//!
+//! * every finished design point is appended as one **CRC-framed JSONL
+//!   record** (`XXXXXXXX {json}\n`, where the 8-hex prefix is the IEEE
+//!   CRC32 of the JSON payload bytes), so torn or bit-rotted frames are
+//!   detectable;
+//! * records are **content-addressed**: the key is a stable 64-bit hash
+//!   of (design point levels, machine/fault config fingerprint, seed,
+//!   code version), so a record is only ever reused for the exact
+//!   configuration that produced it;
+//! * recovery **tolerates torn trailing records** (the tail written
+//!   during the crash is truncated and execution continues), while a
+//!   corrupt frame in the *middle* of the journal is rejected with a
+//!   typed [`JournalError::CorruptFrame`] — silent data loss is never an
+//!   option;
+//! * a header frame pins the journal's format version, code version,
+//!   config fingerprint, seed and design shape; resuming against a stale
+//!   journal (older code, different machine config, different seed) is
+//!   **refused** with [`JournalError::Stale`] instead of silently mixing
+//!   incompatible results;
+//! * floating-point payloads are stored as 16-hex IEEE-754 bit patterns,
+//!   so a resumed campaign is **bit-identical** to an uninterrupted one —
+//!   including NaN placeholders for dropped samples.
+//!
+//! [`super::resilience::run_campaign_resilient_journaled`] drives a
+//! resilient campaign through this log and skips completed points on
+//! restart; [`crate::parallel::shard`] builds per-process shard journals
+//! and a persistent quarantine on the same framing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use scibench_trace::json::{parse as parse_json, JsonValue};
+
+use super::design::{Design, RunPoint};
+use super::measurement::MeasurementOutcome;
+use super::resilience::{PointFate, ResilientRun};
+
+/// Journal format version; bumped whenever the frame layout changes.
+/// A mismatch refuses the journal (it is part of the header check).
+pub const JOURNAL_FORMAT: u32 = 1;
+
+/// Errors of the campaign journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An I/O operation on the journal file failed.
+    Io {
+        /// The journal path.
+        path: String,
+        /// What was being attempted ("open", "read", "append", ...).
+        op: &'static str,
+        /// The underlying error, rendered.
+        error: String,
+    },
+    /// A frame before the journal tail failed its CRC or did not parse.
+    /// (A *trailing* bad frame is a torn write and is truncated instead.)
+    CorruptFrame {
+        /// 1-based line number of the bad frame.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The journal does not start with a header frame.
+    MissingHeader,
+    /// The journal was written by an incompatible configuration (older
+    /// code version, different machine/fault config, seed or design).
+    Stale {
+        /// Which header field mismatched.
+        field: &'static str,
+        /// The value the resuming campaign expected.
+        expected: String,
+        /// The value found in the journal.
+        found: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, op, error } => {
+                write!(f, "journal {op} failed for {path}: {error}")
+            }
+            JournalError::CorruptFrame { line, reason } => {
+                write!(f, "corrupt journal frame at line {line}: {reason}")
+            }
+            JournalError::MissingHeader => write!(f, "journal has no header frame"),
+            JournalError::Stale {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale journal refused: {field} mismatch (expected {expected}, found {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A content-addressed journal key: a stable 64-bit hash of (design
+/// point, config fingerprint, seed, code version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JournalKey(pub u64);
+
+impl fmt::Display for JournalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The identity a journal is bound to. All five fields must match for a
+/// journal to be resumed; any mismatch is [`JournalError::Stale`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalMeta {
+    /// Frame-format version ([`JOURNAL_FORMAT`]).
+    pub format: u32,
+    /// Version of the code that wrote the journal (callers usually pass
+    /// the crate version plus any schedule/statistics schema revision).
+    pub code_version: String,
+    /// Free-form fingerprint of the machine/fault configuration measured.
+    pub config_fingerprint: String,
+    /// The campaign seed.
+    pub seed: u64,
+    /// Hash of the design shape (factor names and levels).
+    pub design_fingerprint: u64,
+}
+
+impl JournalMeta {
+    /// Builds the metadata for `design` under `seed`.
+    pub fn new(design: &Design, seed: u64, code_version: &str, config_fingerprint: &str) -> Self {
+        Self {
+            format: JOURNAL_FORMAT,
+            code_version: code_version.to_owned(),
+            config_fingerprint: config_fingerprint.to_owned(),
+            seed,
+            design_fingerprint: design_fingerprint(design),
+        }
+    }
+}
+
+/// Where a journal lives and what identity it is bound to (the
+/// ergonomic bundle the journaled campaign runners take).
+#[derive(Debug, Clone)]
+pub struct JournalSpec<'a> {
+    /// Path of the journal file (created on first use).
+    pub path: &'a Path,
+    /// Code version to bind into the header and every key.
+    pub code_version: &'a str,
+    /// Machine/fault configuration fingerprint to bind in.
+    pub config_fingerprint: &'a str,
+}
+
+// ---------------------------------------------------------------------------
+// Hashing and framing primitives.
+// ---------------------------------------------------------------------------
+
+/// IEEE CRC32 (reflected, polynomial 0xEDB88320) — the frame checksum.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable hash of the design shape: factor names and all levels, each
+/// length-prefixed so concatenation ambiguities cannot collide.
+pub fn design_fingerprint(design: &Design) -> u64 {
+    let mut h = FNV_OFFSET;
+    for factor in design.factors() {
+        h = fnv1a(h, &(factor.name.len() as u64).to_le_bytes());
+        h = fnv1a(h, factor.name.as_bytes());
+        for level in &factor.levels {
+            h = fnv1a(h, &(level.len() as u64).to_le_bytes());
+            h = fnv1a(h, level.as_bytes());
+        }
+    }
+    splitmix64(h)
+}
+
+/// Derives the content-addressed key of one design point under `meta`:
+/// a pure function of (levels, config fingerprint, seed, code version),
+/// independent of the design index, execution order or thread count.
+pub fn point_key(meta: &JournalMeta, point: &RunPoint) -> JournalKey {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, meta.code_version.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, meta.config_fingerprint.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, &meta.seed.to_le_bytes());
+    for level in &point.levels {
+        h = fnv1a(h, &(level.len() as u64).to_le_bytes());
+        h = fnv1a(h, level.as_bytes());
+    }
+    JournalKey(splitmix64(h))
+}
+
+fn f64_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wraps a JSON payload into one CRC-framed line (with trailing newline).
+pub(crate) fn frame_line(json: &str) -> String {
+    format!("{:08x} {json}\n", crc32(json.as_bytes()))
+}
+
+/// Checks and strips the CRC frame of one line, returning the payload.
+fn unframe(line: &str) -> Result<&str, String> {
+    if line.len() < 10 || line.as_bytes().get(8) != Some(&b' ') {
+        return Err("frame shorter than CRC prefix".into());
+    }
+    let crc = u32::from_str_radix(&line[..8], 16).map_err(|_| "bad CRC hex".to_string())?;
+    let payload = &line[9..];
+    let actual = crc32(payload.as_bytes());
+    if crc != actual {
+        return Err(format!(
+            "CRC mismatch (frame {crc:08x}, payload {actual:08x})"
+        ));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// JSON accessors (over the in-repo parser from scibench-trace).
+// ---------------------------------------------------------------------------
+
+fn get_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string \"{key}\""))
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    let n = v
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric \"{key}\""))?;
+    if n < 0.0 || n.fract() != 0.0 || n > (1u64 << 53) as f64 {
+        return Err(format!("\"{key}\" is not a small non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn get_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean \"{key}\"")),
+    }
+}
+
+fn get_hex64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    let s = get_str(v, key)?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("\"{key}\" is not 16-hex"))
+}
+
+fn get_strings(v: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    let arr = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing or non-array \"{key}\""))?;
+    arr.iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("non-string element in \"{key}\""))
+        })
+        .collect()
+}
+
+fn get_f64_bits_vec(v: &JsonValue, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("missing or non-array \"{key}\""))?;
+    arr.iter()
+        .map(|e| {
+            let s = e
+                .as_str()
+                .ok_or_else(|| format!("non-string bit pattern in \"{key}\""))?;
+            u64::from_str_radix(s, 16)
+                .map(f64::from_bits)
+                .map_err(|_| format!("bad bit pattern in \"{key}\""))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Records.
+// ---------------------------------------------------------------------------
+
+/// One journaled design-point result (the durable form of a
+/// [`ResilientRun`], plus optional free-form notes used by coarser
+/// consumers such as `all_figures` figure-level resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Design (full-factorial) index of the point.
+    pub index: usize,
+    /// Content-addressed key of the point.
+    pub key: JournalKey,
+    /// The point's factor levels (for human inspection; the key is
+    /// authoritative).
+    pub levels: Vec<String>,
+    /// What happened to the point.
+    pub fate: PointFate,
+    /// Panics contained while attempting the point.
+    pub panics_contained: usize,
+    /// The surviving outcome; `None` when the point was quarantined.
+    pub outcome: Option<MeasurementOutcome>,
+    /// Free-form annotations (e.g. progress lines to replay on resume).
+    pub notes: Vec<String>,
+}
+
+impl PointRecord {
+    /// Builds the durable record of one executed run.
+    pub fn from_run(index: usize, key: JournalKey, run: &ResilientRun) -> Self {
+        Self {
+            index,
+            key,
+            levels: run.point.levels.clone(),
+            fate: run.fate.clone(),
+            panics_contained: run.panics_contained,
+            outcome: run.outcome.clone(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Reconstructs the in-memory run this record was made from.
+    pub fn into_run(self) -> ResilientRun {
+        ResilientRun {
+            point: RunPoint {
+                levels: self.levels,
+            },
+            outcome: self.outcome,
+            fate: self.fate,
+            panics_contained: self.panics_contained,
+        }
+    }
+
+    /// Serializes the record body as canonical JSON (no CRC frame).
+    pub fn to_json(&self) -> String {
+        let fate = match &self.fate {
+            PointFate::Completed {
+                attempts,
+                samples_dropped,
+            } => format!(
+                "{{\"kind\":\"completed\",\"attempts\":{attempts},\"dropped\":{samples_dropped}}}"
+            ),
+            PointFate::TimedOut {
+                attempts,
+                elapsed_ns,
+            } => format!(
+                "{{\"kind\":\"timed_out\",\"attempts\":{attempts},\"elapsed\":\"{}\"}}",
+                f64_hex(*elapsed_ns)
+            ),
+            PointFate::Abandoned {
+                attempts,
+                last_error,
+            } => format!(
+                "{{\"kind\":\"abandoned\",\"attempts\":{attempts},\"error\":\"{}\"}}",
+                esc(last_error)
+            ),
+        };
+        let outcome = match &self.outcome {
+            None => "null".to_owned(),
+            Some(o) => {
+                let bits = |xs: &[f64]| {
+                    xs.iter()
+                        .map(|x| format!("\"{}\"", f64_hex(*x)))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"converged\":{},\"warmup\":[{}],\"samples\":[{}]}}",
+                    esc(&o.name),
+                    o.converged,
+                    bits(&o.warmup_samples),
+                    bits(&o.samples),
+                )
+            }
+        };
+        let levels = self
+            .levels
+            .iter()
+            .map(|l| format!("\"{}\"", esc(l)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let notes = self
+            .notes
+            .iter()
+            .map(|l| format!("\"{}\"", esc(l)))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"kind\":\"point\",\"idx\":{},\"key\":\"{}\",\"levels\":[{levels}],\
+             \"fate\":{fate},\"panics\":{},\"outcome\":{outcome},\"notes\":[{notes}]}}",
+            self.index, self.key, self.panics_contained,
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let fate_v = v.get("fate").ok_or("missing \"fate\"")?;
+        let attempts = get_usize(fate_v, "attempts")?;
+        let fate = match get_str(fate_v, "kind")? {
+            "completed" => PointFate::Completed {
+                attempts,
+                samples_dropped: get_usize(fate_v, "dropped")?,
+            },
+            "timed_out" => PointFate::TimedOut {
+                attempts,
+                elapsed_ns: f64::from_bits(get_hex64(fate_v, "elapsed")?),
+            },
+            "abandoned" => PointFate::Abandoned {
+                attempts,
+                last_error: get_str(fate_v, "error")?.to_owned(),
+            },
+            other => return Err(format!("unknown fate kind \"{other}\"")),
+        };
+        let outcome = match v.get("outcome") {
+            Some(JsonValue::Null) | None => None,
+            Some(o) => Some(MeasurementOutcome {
+                name: get_str(o, "name")?.to_owned(),
+                converged: get_bool(o, "converged")?,
+                warmup_samples: get_f64_bits_vec(o, "warmup")?,
+                samples: get_f64_bits_vec(o, "samples")?,
+            }),
+        };
+        Ok(Self {
+            index: get_usize(v, "idx")?,
+            key: JournalKey(get_hex64(v, "key")?),
+            levels: get_strings(v, "levels")?,
+            fate,
+            panics_contained: get_usize(v, "panics")?,
+            outcome,
+            notes: get_strings(v, "notes").unwrap_or_default(),
+        })
+    }
+}
+
+fn header_json(meta: &JournalMeta) -> String {
+    format!(
+        "{{\"kind\":\"header\",\"format\":{},\"code_version\":\"{}\",\"config\":\"{}\",\
+         \"seed\":\"{:016x}\",\"design\":\"{:016x}\"}}",
+        meta.format,
+        esc(&meta.code_version),
+        esc(&meta.config_fingerprint),
+        meta.seed,
+        meta.design_fingerprint,
+    )
+}
+
+fn header_from_json(v: &JsonValue) -> Result<JournalMeta, String> {
+    Ok(JournalMeta {
+        format: get_usize(v, "format")? as u32,
+        code_version: get_str(v, "code_version")?.to_owned(),
+        config_fingerprint: get_str(v, "config")?.to_owned(),
+        seed: get_hex64(v, "seed")?,
+        design_fingerprint: get_hex64(v, "design")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (the parsed journal) and the Journal handle.
+// ---------------------------------------------------------------------------
+
+/// The parsed state of a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct JournalSnapshot {
+    /// The header, if any frame was readable (`None` for an empty file).
+    pub meta: Option<JournalMeta>,
+    /// Completed point records, keyed content-addressed. Duplicate keys
+    /// resolve last-write-wins.
+    pub records: HashMap<JournalKey, PointRecord>,
+    /// `begin` markers without a later matching `point` record — the
+    /// points that were in flight when the writer died. (Duplicates are
+    /// possible across respawns.)
+    pub dangling_begins: Vec<(usize, JournalKey)>,
+    /// Valid frames parsed.
+    pub frames: usize,
+    /// Byte length of the valid prefix (everything after it is torn).
+    pub valid_len: u64,
+    /// Whether a torn tail was dropped.
+    pub torn: bool,
+}
+
+impl JournalSnapshot {
+    /// Looks up the completed record for a key.
+    pub fn record_for(&self, key: JournalKey) -> Option<&PointRecord> {
+        self.records.get(&key)
+    }
+}
+
+fn io_err(path: &Path, op: &'static str, error: impl fmt::Display) -> JournalError {
+    JournalError::Io {
+        path: path.display().to_string(),
+        op,
+        error: error.to_string(),
+    }
+}
+
+/// An open, append-mode journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Parses a journal file. The file must exist; see
+    /// [`Journal::load_or_empty`] for the tolerant variant.
+    ///
+    /// A bad frame at the very end of the file (a torn write from a
+    /// crash) is dropped and reported via [`JournalSnapshot::torn`]; a
+    /// bad frame anywhere else is [`JournalError::CorruptFrame`].
+    pub fn load(path: &Path) -> Result<JournalSnapshot, JournalError> {
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, "read", e))?;
+        Self::parse(&bytes)
+    }
+
+    /// [`Journal::load`], but a missing file is an empty snapshot.
+    pub fn load_or_empty(path: &Path) -> Result<JournalSnapshot, JournalError> {
+        if !path.exists() {
+            return Ok(JournalSnapshot::default());
+        }
+        Self::load(path)
+    }
+
+    fn parse(bytes: &[u8]) -> Result<JournalSnapshot, JournalError> {
+        let mut snap = JournalSnapshot::default();
+        // Split into newline-terminated lines; an unterminated tail is a
+        // torn write by definition (every append ends with '\n').
+        let mut start = 0usize;
+        let mut lines: Vec<(usize, &[u8])> = Vec::new(); // (offset, line w/o \n)
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'\n' {
+                lines.push((start, &bytes[start..i]));
+                start = i + 1;
+            }
+        }
+        let unterminated_tail = start < bytes.len();
+
+        for (lineno, (offset, raw)) in lines.iter().enumerate() {
+            let last = lineno + 1 == lines.len() && !unterminated_tail;
+            let parsed: Result<JsonValue, String> = std::str::from_utf8(raw)
+                .map_err(|_| "invalid utf-8".to_string())
+                .and_then(unframe)
+                .and_then(|payload| parse_json(payload).map_err(|e| format!("bad JSON: {e}")));
+            let value = match parsed {
+                Ok(v) => v,
+                Err(_) if last => {
+                    // Torn trailing record: truncate-and-continue.
+                    snap.torn = true;
+                    snap.valid_len = *offset as u64;
+                    return Ok(snap);
+                }
+                Err(reason) => {
+                    return Err(JournalError::CorruptFrame {
+                        line: lineno + 1,
+                        reason,
+                    });
+                }
+            };
+            let classify: Result<(), String> = (|| {
+                let kind = get_str(&value, "kind")?;
+                match kind {
+                    "header" => {
+                        if lineno != 0 {
+                            return Err("header frame not first".into());
+                        }
+                        snap.meta = Some(header_from_json(&value)?);
+                    }
+                    "begin" => {
+                        let idx = get_usize(&value, "idx")?;
+                        let key = JournalKey(get_hex64(&value, "key")?);
+                        snap.dangling_begins.push((idx, key));
+                    }
+                    "point" => {
+                        let rec = PointRecord::from_json(&value)?;
+                        snap.dangling_begins.retain(|(_, k)| *k != rec.key);
+                        snap.records.insert(rec.key, rec);
+                    }
+                    other => return Err(format!("unknown frame kind \"{other}\"")),
+                }
+                Ok(())
+            })();
+            match classify {
+                Ok(()) => {
+                    if lineno == 0 && snap.meta.is_none() {
+                        return Err(JournalError::MissingHeader);
+                    }
+                    snap.frames += 1;
+                    snap.valid_len = (*offset + raw.len() + 1) as u64;
+                }
+                Err(_) if last => {
+                    snap.torn = true;
+                    snap.valid_len = *offset as u64;
+                    return Ok(snap);
+                }
+                Err(reason) => {
+                    return Err(JournalError::CorruptFrame {
+                        line: lineno + 1,
+                        reason,
+                    });
+                }
+            }
+        }
+        if unterminated_tail {
+            snap.torn = true;
+        }
+        Ok(snap)
+    }
+
+    /// Opens (creating if necessary) a journal for appending, bound to
+    /// `meta`.
+    ///
+    /// * Missing or empty file: a fresh header is written.
+    /// * Existing journal: the header must match `meta` exactly, else
+    ///   the journal is refused as [`JournalError::Stale`] — a journal
+    ///   from an older code version or a different machine config must
+    ///   never be silently reused.
+    /// * A torn tail is physically truncated so new appends continue
+    ///   from the last intact frame.
+    ///
+    /// Returns the open journal and the snapshot of surviving records.
+    pub fn open_resume(
+        path: &Path,
+        meta: &JournalMeta,
+    ) -> Result<(Journal, JournalSnapshot), JournalError> {
+        let mut snap = Journal::load_or_empty(path)?;
+        match &snap.meta {
+            None => {}
+            Some(found) => {
+                let checks: [(&'static str, String, String); 5] = [
+                    ("format", meta.format.to_string(), found.format.to_string()),
+                    (
+                        "code_version",
+                        meta.code_version.clone(),
+                        found.code_version.clone(),
+                    ),
+                    (
+                        "config_fingerprint",
+                        meta.config_fingerprint.clone(),
+                        found.config_fingerprint.clone(),
+                    ),
+                    (
+                        "seed",
+                        format!("{:016x}", meta.seed),
+                        format!("{:016x}", found.seed),
+                    ),
+                    (
+                        "design_fingerprint",
+                        format!("{:016x}", meta.design_fingerprint),
+                        format!("{:016x}", found.design_fingerprint),
+                    ),
+                ];
+                for (field, expected, found) in checks {
+                    if expected != found {
+                        return Err(JournalError::Stale {
+                            field,
+                            expected,
+                            found,
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| io_err(path, "create-dir", e))?;
+            }
+        }
+        // O_APPEND: every frame is one atomic append, so a straggling
+        // writer from a previous incarnation cannot interleave bytes
+        // *inside* a frame written by this one — at worst it adds whole
+        // frames, which last-write-wins replay absorbs.
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| io_err(path, "open", e))?;
+        // Drop any torn tail so appends continue from the intact prefix.
+        file.set_len(snap.valid_len)
+            .map_err(|e| io_err(path, "truncate", e))?;
+        let mut journal = Journal {
+            file,
+            path: path.to_owned(),
+        };
+        if snap.meta.is_none() {
+            journal.append_json(&header_json(meta))?;
+            snap.meta = Some(meta.clone());
+        }
+        Ok((journal, snap))
+    }
+
+    fn append_json(&mut self, json: &str) -> Result<(), JournalError> {
+        let line = frame_line(json);
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&self.path, "append", e))?;
+        self.file
+            .flush()
+            .map_err(|e| io_err(&self.path, "flush", e))?;
+        Ok(())
+    }
+
+    /// Appends a `begin` intent marker: "this point is now in flight".
+    /// A begin without a later matching point record marks the point a
+    /// crashed worker was executing ([`JournalSnapshot::dangling_begins`]).
+    pub fn append_begin(&mut self, index: usize, key: JournalKey) -> Result<(), JournalError> {
+        self.append_json(&format!(
+            "{{\"kind\":\"begin\",\"idx\":{index},\"key\":\"{key}\"}}"
+        ))
+    }
+
+    /// Appends one completed point record.
+    pub fn append_point(&mut self, record: &PointRecord) -> Result<(), JournalError> {
+        self.append_json(&record.to_json())
+    }
+
+    /// Forces the journal contents to stable storage (fsync).
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err(&self.path, "sync", e))
+    }
+}
+
+/// A canonical 64-bit digest of a resilient campaign result: a pure
+/// function of every run's levels, fate, panics and exact sample bits
+/// (in design order). Two results are bit-identical iff their digests
+/// match, which lets processes compare results across address spaces.
+pub fn result_digest(result: &super::resilience::ResilientCampaignResult) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (idx, run) in result.runs.iter().enumerate() {
+        let rec = PointRecord::from_run(idx, JournalKey(0), run);
+        let json = rec.to_json();
+        h = fnv1a(h, &(json.len() as u64).to_le_bytes());
+        h = fnv1a(h, json.as_bytes());
+    }
+    splitmix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::design::Factor;
+    use std::fs;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scibench-journal-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("campaign.journal")
+    }
+
+    fn demo_design() -> Design {
+        Design::new(vec![
+            Factor::new("system", &["a", "b"]),
+            Factor::numeric("size", &[8.0, 64.0]),
+        ])
+    }
+
+    fn demo_meta() -> JournalMeta {
+        JournalMeta::new(&demo_design(), 42, "test-v1", "machine=demo")
+    }
+
+    fn demo_run(nan: bool) -> ResilientRun {
+        ResilientRun {
+            point: RunPoint {
+                levels: vec!["a".into(), "8".into()],
+            },
+            outcome: Some(MeasurementOutcome {
+                name: "op \"quoted\"\nline".into(),
+                warmup_samples: vec![0.5],
+                samples: vec![
+                    1.0,
+                    -2.5e-300,
+                    if nan { f64::NAN } else { 3.0 },
+                    f64::INFINITY,
+                ],
+                converged: true,
+            }),
+            fate: PointFate::Completed {
+                attempts: 2,
+                samples_dropped: 1,
+            },
+            panics_contained: 1,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let meta = demo_meta();
+        let points = demo_design().full_factorial();
+        let k0 = point_key(&meta, &points[0]);
+        assert_eq!(k0, point_key(&meta, &points[0]));
+        assert_ne!(k0, point_key(&meta, &points[1]));
+        let mut other = meta.clone();
+        other.seed = 43;
+        assert_ne!(k0, point_key(&other, &points[0]));
+        let mut other = meta.clone();
+        other.code_version = "test-v2".into();
+        assert_ne!(k0, point_key(&other, &points[0]));
+        let mut other = meta.clone();
+        other.config_fingerprint = "machine=other".into();
+        assert_ne!(k0, point_key(&other, &points[0]));
+    }
+
+    #[test]
+    fn record_roundtrip_is_bit_exact_including_nan() {
+        let run = demo_run(true);
+        let rec = PointRecord::from_run(3, JournalKey(0xdead_beef), &run);
+        let json = rec.to_json();
+        let parsed = PointRecord::from_json(&parse_json(&json).unwrap()).unwrap();
+        assert_eq!(parsed.index, 3);
+        assert_eq!(parsed.key, JournalKey(0xdead_beef));
+        assert_eq!(parsed.fate, rec.fate);
+        assert_eq!(parsed.panics_contained, 1);
+        let (a, b) = (
+            parsed.outcome.as_ref().unwrap(),
+            rec.outcome.as_ref().unwrap(),
+        );
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.converged, b.converged);
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.samples), bits(&b.samples));
+        assert_eq!(bits(&a.warmup_samples), bits(&b.warmup_samples));
+    }
+
+    #[test]
+    fn timed_out_and_abandoned_fates_roundtrip() {
+        for fate in [
+            PointFate::TimedOut {
+                attempts: 7,
+                elapsed_ns: 1.5e9,
+            },
+            PointFate::Abandoned {
+                attempts: 3,
+                last_error: "panicked: \"boom\"\n".into(),
+            },
+        ] {
+            let rec = PointRecord {
+                index: 0,
+                key: JournalKey(1),
+                levels: vec!["x".into()],
+                fate: fate.clone(),
+                panics_contained: 0,
+                outcome: None,
+                notes: vec!["note one".into()],
+            };
+            let parsed = PointRecord::from_json(&parse_json(&rec.to_json()).unwrap()).unwrap();
+            assert_eq!(parsed.fate, fate);
+            assert!(parsed.outcome.is_none());
+            assert_eq!(parsed.notes, vec!["note one".to_string()]);
+        }
+    }
+
+    #[test]
+    fn empty_file_is_an_empty_snapshot() {
+        let path = tmp_path("empty");
+        fs::write(&path, b"").unwrap();
+        let snap = Journal::load(&path).unwrap();
+        assert!(snap.meta.is_none());
+        assert_eq!(snap.frames, 0);
+        assert!(!snap.torn);
+        // Resume treats it as fresh: header written, journal usable.
+        let (mut journal, snap) = Journal::open_resume(&path, &demo_meta()).unwrap();
+        assert_eq!(snap.records.len(), 0);
+        journal.append_begin(0, JournalKey(9)).unwrap();
+        drop(journal);
+        let snap = Journal::load(&path).unwrap();
+        assert_eq!(snap.meta, Some(demo_meta()));
+        assert_eq!(snap.dangling_begins, vec![(0, JournalKey(9))]);
+    }
+
+    #[test]
+    fn missing_file_load_or_empty() {
+        let path = tmp_path("missing");
+        assert!(Journal::load(&path).is_err());
+        let snap = Journal::load_or_empty(&path).unwrap();
+        assert_eq!(snap.frames, 0);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_truncated_and_appends_continue() {
+        let path = tmp_path("torn");
+        let meta = demo_meta();
+        let (mut journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        let rec = PointRecord::from_run(0, JournalKey(7), &demo_run(false));
+        journal.append_point(&rec).unwrap();
+        drop(journal);
+        let intact = fs::metadata(&path).unwrap().len();
+        // Simulate a crash mid-append: half a frame, no newline.
+        let mut bytes = fs::read(&path).unwrap();
+        let torn = frame_line(&rec.to_json());
+        bytes.extend_from_slice(&torn.as_bytes()[..torn.len() / 2]);
+        fs::write(&path, &bytes).unwrap();
+
+        let snap = Journal::load(&path).unwrap();
+        assert!(snap.torn);
+        assert_eq!(snap.valid_len, intact);
+        assert_eq!(snap.records.len(), 1);
+
+        // Resume truncates the torn tail and appends cleanly after it.
+        let (mut journal, snap) = Journal::open_resume(&path, &meta).unwrap();
+        assert_eq!(snap.records.len(), 1);
+        let rec2 = PointRecord::from_run(1, JournalKey(8), &demo_run(false));
+        journal.append_point(&rec2).unwrap();
+        drop(journal);
+        let snap = Journal::load(&path).unwrap();
+        assert!(!snap.torn);
+        assert_eq!(snap.records.len(), 2);
+    }
+
+    #[test]
+    fn torn_trailing_crc_mismatch_is_tolerated() {
+        let path = tmp_path("torn-crc");
+        let meta = demo_meta();
+        let (mut journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        journal
+            .append_point(&PointRecord::from_run(0, JournalKey(7), &demo_run(false)))
+            .unwrap();
+        drop(journal);
+        // A complete line whose payload was corrupted in place: if it is
+        // the last line it is treated as torn, not as corruption.
+        let mut bytes = fs::read(&path).unwrap();
+        let line = frame_line("{\"kind\":\"begin\",\"idx\":1,\"key\":\"0002\"}");
+        let mut corrupted = line.into_bytes();
+        let mid = corrupted.len() - 5;
+        corrupted[mid] ^= 0x01;
+        bytes.extend_from_slice(&corrupted);
+        fs::write(&path, &bytes).unwrap();
+        let snap = Journal::load(&path).unwrap();
+        assert!(snap.torn);
+        assert_eq!(snap.records.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_middle_frame_is_a_typed_error() {
+        let path = tmp_path("corrupt");
+        let meta = demo_meta();
+        let (mut journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        journal
+            .append_point(&PointRecord::from_run(0, JournalKey(1), &demo_run(false)))
+            .unwrap();
+        journal
+            .append_point(&PointRecord::from_run(1, JournalKey(2), &demo_run(false)))
+            .unwrap();
+        drop(journal);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte inside the *second* frame (the first
+        // point record), which is not the trailing frame.
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 30] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        match Journal::load(&path) {
+            Err(JournalError::CorruptFrame { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected CorruptFrame, got {other:?}"),
+        }
+        // open_resume refuses it the same way.
+        assert!(matches!(
+            Journal::open_resume(&path, &meta),
+            Err(JournalError::CorruptFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_keys_last_write_wins() {
+        let path = tmp_path("dups");
+        let meta = demo_meta();
+        let (mut journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        let mut rec = PointRecord::from_run(0, JournalKey(5), &demo_run(false));
+        journal.append_point(&rec).unwrap();
+        rec.fate = PointFate::Abandoned {
+            attempts: 9,
+            last_error: "second write".into(),
+        };
+        rec.outcome = None;
+        journal.append_point(&rec).unwrap();
+        drop(journal);
+        let snap = Journal::load(&path).unwrap();
+        assert_eq!(snap.records.len(), 1);
+        let rec = snap.record_for(JournalKey(5)).unwrap();
+        assert!(matches!(rec.fate, PointFate::Abandoned { attempts: 9, .. }));
+    }
+
+    #[test]
+    fn stale_journal_is_refused_not_reused() {
+        let path = tmp_path("stale");
+        let meta = demo_meta();
+        let (journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        drop(journal);
+        // Same design point content, newer code version: the key would
+        // differ anyway, but the header check refuses the whole file
+        // before any record could be considered.
+        let mut newer = meta.clone();
+        newer.code_version = "test-v2".into();
+        match Journal::open_resume(&path, &newer) {
+            Err(JournalError::Stale {
+                field,
+                expected,
+                found,
+            }) => {
+                assert_eq!(field, "code_version");
+                assert_eq!(expected, "test-v2");
+                assert_eq!(found, "test-v1");
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        // Different seed: refused too.
+        let mut reseeded = meta.clone();
+        reseeded.seed = 43;
+        assert!(matches!(
+            Journal::open_resume(&path, &reseeded),
+            Err(JournalError::Stale { field: "seed", .. })
+        ));
+        // Different design shape: refused.
+        let other_design = Design::new(vec![Factor::new("system", &["a"])]);
+        let other_meta = JournalMeta::new(&other_design, 42, "test-v1", "machine=demo");
+        assert!(matches!(
+            Journal::open_resume(&path, &other_meta),
+            Err(JournalError::Stale {
+                field: "design_fingerprint",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn begin_then_point_clears_dangling() {
+        let path = tmp_path("dangling");
+        let meta = demo_meta();
+        let (mut journal, _) = Journal::open_resume(&path, &meta).unwrap();
+        journal.append_begin(0, JournalKey(1)).unwrap();
+        journal.append_begin(1, JournalKey(2)).unwrap();
+        journal
+            .append_point(&PointRecord::from_run(0, JournalKey(1), &demo_run(false)))
+            .unwrap();
+        drop(journal);
+        let snap = Journal::load(&path).unwrap();
+        assert_eq!(snap.dangling_begins, vec![(1, JournalKey(2))]);
+        assert_eq!(snap.records.len(), 1);
+    }
+
+    #[test]
+    fn non_header_first_frame_is_rejected() {
+        let path = tmp_path("headless");
+        let line = frame_line("{\"kind\":\"begin\",\"idx\":0,\"key\":\"01\"}");
+        // Two frames so the first is not the (tolerated) trailing one.
+        fs::write(&path, format!("{line}{line}")).unwrap();
+        let err = Journal::load(&path).unwrap_err();
+        assert!(
+            matches!(err, JournalError::CorruptFrame { line: 1, .. })
+                || matches!(err, JournalError::MissingHeader),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = JournalError::Stale {
+            field: "code_version",
+            expected: "v2".into(),
+            found: "v1".into(),
+        };
+        assert!(e.to_string().contains("stale journal refused"));
+        let e = JournalError::CorruptFrame {
+            line: 3,
+            reason: "CRC mismatch".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

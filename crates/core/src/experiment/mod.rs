@@ -14,6 +14,9 @@
 //! - [`resilience`]: the same execution with retry, timeout and
 //!   graceful degradation instead of first-error abort — for faulty
 //!   machines and fault-injected simulations;
+//! - [`journal`]: a crash-consistent, CRC-framed write-ahead log of
+//!   per-point results with content-addressed keys, so interrupted
+//!   campaigns resume bit-identically instead of restarting;
 //! - [`scaling`]: strong/weak scaling declarations with explicit scaling
 //!   functions (§4.2).
 
@@ -21,6 +24,7 @@ pub mod adaptive;
 pub mod campaign;
 pub mod design;
 pub mod environment;
+pub mod journal;
 pub mod measurement;
 pub mod resilience;
 pub mod scaling;
@@ -29,8 +33,13 @@ pub use adaptive::{refine_levels, Refinement, RefinementConfig};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignRun};
 pub use design::{Design, Factor, RunPoint};
 pub use environment::{DocumentationClass, EnvironmentDoc};
+pub use journal::{
+    result_digest, Journal, JournalError, JournalKey, JournalMeta, JournalSnapshot, JournalSpec,
+    PointRecord,
+};
 pub use measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary, StoppingRule};
 pub use resilience::{
-    run_campaign_resilient, CampaignError, CampaignHealth, MeasureFailure, PointFate,
-    ResilientCampaignResult, ResilientRun, RetryPolicy,
+    run_campaign_resilient, run_campaign_resilient_journaled,
+    run_campaign_resilient_journaled_subset, CampaignError, CampaignHealth, JournaledCampaign,
+    MeasureFailure, PointFate, ResilientCampaignResult, ResilientRun, ResumeStats, RetryPolicy,
 };

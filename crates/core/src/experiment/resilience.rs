@@ -30,6 +30,7 @@
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +44,8 @@ use crate::parallel::pool;
 
 use super::campaign::CampaignConfig;
 use super::design::{Design, RunPoint};
+use super::journal::PointRecord;
+use super::journal::{point_key, Journal, JournalError, JournalKey, JournalMeta, JournalSpec};
 use super::measurement::{MeasurementOutcome, MeasurementPlan, MeasurementSummary};
 
 /// Why one invocation of the measurement closure failed.
@@ -103,6 +106,11 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// Hard ceiling on any single backoff charge (~31.7 simulated years):
+    /// far beyond any realistic budget, yet finite so accumulated waits
+    /// stay comparable.
+    pub const BACKOFF_CAP_NS: f64 = 1e18;
+
     /// Sets the number of attempts.
     pub fn attempts(mut self, n: usize) -> Self {
         self.max_attempts = n;
@@ -119,6 +127,51 @@ impl RetryPolicy {
     pub fn contamination(mut self, fraction: f64) -> Self {
         self.max_contamination = fraction;
         self
+    }
+
+    /// The simulated-time backoff charged after `failed_attempts`
+    /// consecutive failures (1-based): `base · factor^(failed_attempts−1)`,
+    /// saturated so no policy — however extreme — can ever charge a
+    /// negative, NaN or unbounded wait:
+    ///
+    /// * a NaN or negative base or factor is treated as 0 / 1 (no
+    ///   backoff growth) instead of poisoning the budget arithmetic;
+    /// * the exponent and the product are clamped to
+    ///   [`RetryPolicy::BACKOFF_CAP_NS`], so `factor.powi(huge)` cannot
+    ///   overflow to `inf` and make every later budget comparison lie.
+    pub fn backoff_ns(&self, failed_attempts: usize) -> f64 {
+        if failed_attempts == 0 {
+            return 0.0;
+        }
+        let base = if self.backoff_base_ns.is_nan() {
+            0.0
+        } else {
+            self.backoff_base_ns.clamp(0.0, Self::BACKOFF_CAP_NS)
+        };
+        let factor = if self.backoff_factor.is_nan() || self.backoff_factor <= 0.0 {
+            1.0
+        } else {
+            self.backoff_factor
+        };
+        let exponent = (failed_attempts - 1).min(i32::MAX as usize) as i32;
+        let raw = base * factor.powi(exponent);
+        if raw.is_nan() {
+            0.0
+        } else {
+            raw.clamp(0.0, Self::BACKOFF_CAP_NS)
+        }
+    }
+}
+
+/// Adds simulated-time charges without ever producing NaN or `inf`:
+/// the budget comparison `elapsed > budget` must stay meaningful even
+/// after pathological measure costs.
+fn saturating_add_ns(acc: f64, charge: f64) -> f64 {
+    let sum = acc + charge.max(0.0);
+    if sum.is_nan() {
+        f64::MAX
+    } else {
+        sum.min(f64::MAX)
     }
 }
 
@@ -190,6 +243,13 @@ pub struct CampaignHealth {
     pub samples_dropped: usize,
     /// Panics contained by the runner.
     pub panics_contained: usize,
+    /// Worker OS processes killed and respawned by the shard supervisor
+    /// ([`crate::parallel::shard`]); always 0 for in-process runners.
+    pub workers_respawned: usize,
+    /// Points quarantined as poisoned after repeatedly crashing a worker
+    /// process; always 0 for in-process runners. (Poisoned points are
+    /// also counted in `points_abandoned`.)
+    pub points_poisoned: usize,
 }
 
 impl CampaignHealth {
@@ -200,6 +260,8 @@ impl CampaignHealth {
             && self.points_retried == 0
             && self.samples_dropped == 0
             && self.panics_contained == 0
+            && self.workers_respawned == 0
+            && self.points_poisoned == 0
     }
 
     /// Renders the health summary as one disclosure line (Rule 4).
@@ -207,7 +269,8 @@ impl CampaignHealth {
         format!(
             "campaign health: {}/{} points completed ({} retried), \
              {} timed out, {} abandoned; {} attempts; \
-             {} samples dropped; {} panics contained",
+             {} samples dropped; {} panics contained; \
+             {} workers respawned; {} points poisoned",
             self.points_completed,
             self.points_total,
             self.points_retried,
@@ -216,6 +279,8 @@ impl CampaignHealth {
             self.attempts_total,
             self.samples_dropped,
             self.panics_contained,
+            self.workers_respawned,
+            self.points_poisoned,
         )
     }
 }
@@ -265,6 +330,16 @@ pub enum CampaignError {
         /// The aggregated health of the failed campaign.
         health: CampaignHealth,
     },
+    /// The campaign journal failed (I/O, corruption before the tail, or
+    /// a stale journal that must not be reused).
+    Journal(JournalError),
+    /// A subset runner was given a design index outside the design.
+    BadPointIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of points in the design.
+        points: usize,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -274,11 +349,21 @@ impl fmt::Display for CampaignError {
             CampaignError::AllPointsFailed { health } => {
                 write!(f, "no design point survived: {}", health.render())
             }
+            CampaignError::Journal(err) => write!(f, "campaign journal error: {err}"),
+            CampaignError::BadPointIndex { index, points } => {
+                write!(f, "design index {index} out of range ({points} points)")
+            }
         }
     }
 }
 
 impl std::error::Error for CampaignError {}
+
+impl From<JournalError> for CampaignError {
+    fn from(err: JournalError) -> Self {
+        CampaignError::Journal(err)
+    }
+}
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -389,12 +474,111 @@ where
     if points.is_empty() {
         return Err(CampaignError::EmptyDesign);
     }
-    let threads = config.threads.clamp(1, points.len());
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let executed = run_resilient_subset(
+        &points,
+        &indices,
+        plan,
+        config,
+        policy,
+        tracer,
+        init,
+        measure,
+        |_| (),
+        |_, _| (),
+    );
+    let runs: Vec<ResilientRun> = executed.into_iter().map(|(_, run)| run).collect();
+    finish_campaign(runs)
+}
+
+/// Folds executed runs into the Rule-4 health disclosure.
+pub(crate) fn health_of(runs: &[ResilientRun]) -> CampaignHealth {
+    let mut health = CampaignHealth {
+        points_total: runs.len(),
+        ..CampaignHealth::default()
+    };
+    for run in runs {
+        health.panics_contained += run.panics_contained;
+        match &run.fate {
+            PointFate::Completed {
+                attempts,
+                samples_dropped,
+            } => {
+                health.points_completed += 1;
+                if *attempts > 1 {
+                    health.points_retried += 1;
+                }
+                health.attempts_total += attempts;
+                health.samples_dropped += samples_dropped;
+            }
+            PointFate::TimedOut { attempts, .. } => {
+                health.points_timed_out += 1;
+                health.attempts_total += attempts;
+            }
+            PointFate::Abandoned { attempts, .. } => {
+                health.points_abandoned += 1;
+                health.attempts_total += attempts;
+            }
+        }
+    }
+    health
+}
+
+/// Wraps runs (in design order) into the campaign result, failing with
+/// [`CampaignError::AllPointsFailed`] when nothing survived.
+pub(crate) fn finish_campaign(
+    runs: Vec<ResilientRun>,
+) -> Result<ResilientCampaignResult, CampaignError> {
+    let health = health_of(&runs);
+    if health.points_completed == 0 {
+        return Err(CampaignError::AllPointsFailed { health });
+    }
+    Ok(ResilientCampaignResult { runs, health })
+}
+
+/// The resilient execution engine over an arbitrary subset of design
+/// points: the shared core of the full-campaign, journaled and sharded
+/// runners.
+///
+/// Every point's RNG forks from `(campaign seed, design index)`, so
+/// executing any subset — in any order, on any thread count — produces
+/// exactly the runs the full campaign would produce for those indices.
+/// That property is what makes journaled resume and process sharding
+/// bit-identical to an uninterrupted single-process run.
+///
+/// `before(idx)` / `after(idx, &run)` fire on the worker thread around
+/// each point (the journal's begin/point appends); they must not panic.
+/// Returns `(design index, run)` pairs sorted by design index.
+#[allow(clippy::too_many_arguments)] // the runner family's full surface
+pub(crate) fn run_resilient_subset<S, I, F, B, A>(
+    points: &[RunPoint],
+    indices: &[usize],
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    tracer: Option<&Tracer>,
+    init: I,
+    measure: F,
+    before: B,
+    after: A,
+) -> Vec<(usize, ResilientRun)>
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+    B: Fn(usize) + Sync,
+    A: Fn(usize, &ResilientRun) + Sync,
+{
+    if indices.is_empty() {
+        return Vec::new();
+    }
+    let threads = config.threads.clamp(1, indices.len());
     let max_attempts = policy.max_attempts.max(1);
     let budget = policy.point_budget_ns.unwrap_or(f64::INFINITY);
 
     // Same randomized execution order as the strict runner (§4.1.1).
-    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Order affects scheduling only, never bits: per-point streams are
+    // pure functions of the design index.
+    let mut order: Vec<usize> = indices.to_vec();
     let mut order_rng = SimRng::new(config.seed).fork("campaign-order");
     order_rng.shuffle(&mut order);
 
@@ -435,7 +619,7 @@ where
                     }
                     match measure(&mut *scratch, point, &mut rng) {
                         Ok(cost) => {
-                            elapsed.set(elapsed.get() + cost.max(0.0));
+                            elapsed.set(saturating_add_ns(elapsed.get(), cost));
                             cost
                         }
                         Err(e) => {
@@ -541,10 +725,10 @@ where
                 }
             }
 
-            // Exponential backoff charged against the simulated budget.
+            // Exponential backoff charged against the simulated budget
+            // (saturated: see [`RetryPolicy::backoff_ns`]).
             if attempts < max_attempts {
-                let backoff =
-                    policy.backoff_base_ns * policy.backoff_factor.powi(attempts as i32 - 1);
+                let backoff = policy.backoff_ns(attempts);
                 lane.borrow_mut().instant(
                     category::RESILIENCE,
                     "retry",
@@ -553,7 +737,7 @@ where
                         ("backoff_ns", ArgValue::F64(backoff)),
                     ],
                 );
-                elapsed.set(elapsed.get() + backoff.max(0.0));
+                elapsed.set(saturating_add_ns(elapsed.get(), backoff));
                 if elapsed.get() > budget {
                     timed_out = true;
                     break;
@@ -601,60 +785,233 @@ where
         }
     };
 
-    // Execute the shuffled order on the work-stealing pool, then
-    // un-shuffle back into design order. `run_one` is infallible — panics
-    // in the measurement closure are already contained per attempt — so a
+    // Execute the shuffled order on the work-stealing pool, then sort
+    // back into design order. `run_one` is infallible — panics in the
+    // measurement closure are already contained per attempt — so a
     // pool-level panic can only be runner infrastructure and is re-raised.
     let positioned =
         pool::run_indexed_scoped_traced(order.len(), threads, tracer, init, |scratch, pos| {
-            run_one(scratch, order[pos])
+            let design_idx = order[pos];
+            before(design_idx);
+            let run = run_one(scratch, design_idx);
+            after(design_idx, &run);
+            (design_idx, run)
         });
-    let mut slots: Vec<Option<ResilientRun>> = (0..points.len()).map(|_| None).collect();
-    for (pos, result) in positioned.into_iter().enumerate() {
+    let mut executed: Vec<(usize, ResilientRun)> = Vec::with_capacity(order.len());
+    for result in positioned {
         match result {
-            Ok(run) => slots[order[pos]] = Some(run),
+            Ok(pair) => executed.push(pair),
             Err(payload) => std::panic::resume_unwind(payload),
         }
     }
+    executed.sort_by_key(|(idx, _)| *idx);
+    executed
+}
 
-    let runs: Vec<ResilientRun> = slots
-        .into_iter()
-        .map(|s| s.expect("every design point executed"))
-        .collect();
+/// Resume bookkeeping of a journaled campaign — deliberately *separate*
+/// from [`CampaignHealth`]: how a result was obtained (fresh vs resumed)
+/// must not leak into the result itself, or an interrupted-then-resumed
+/// campaign could no longer be bit-identical to an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeStats {
+    /// Design points the runner was responsible for.
+    pub points_total: usize,
+    /// Points skipped because the journal already held their result.
+    pub points_resumed: usize,
+    /// Points actually executed (and appended) by this process.
+    pub points_executed: usize,
+    /// Whether a torn trailing record from a crash was truncated away.
+    pub torn_tail_dropped: bool,
+}
 
-    let mut health = CampaignHealth {
-        points_total: runs.len(),
-        ..CampaignHealth::default()
-    };
-    for run in &runs {
-        health.panics_contained += run.panics_contained;
-        match &run.fate {
-            PointFate::Completed {
-                attempts,
-                samples_dropped,
-            } => {
-                health.points_completed += 1;
-                if *attempts > 1 {
-                    health.points_retried += 1;
-                }
-                health.attempts_total += attempts;
-                health.samples_dropped += samples_dropped;
-            }
-            PointFate::TimedOut { attempts, .. } => {
-                health.points_timed_out += 1;
-                health.attempts_total += attempts;
-            }
-            PointFate::Abandoned { attempts, .. } => {
-                health.points_abandoned += 1;
-                health.attempts_total += attempts;
-            }
+/// A journaled campaign: the (resume-invariant) result plus the resume
+/// bookkeeping of this particular process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournaledCampaign {
+    /// The campaign result — bit-identical whether the campaign ran
+    /// uninterrupted or was killed and resumed any number of times.
+    pub result: ResilientCampaignResult,
+    /// How much of it was replayed from the journal.
+    pub resume: ResumeStats,
+}
+
+/// [`run_campaign_resilient`] with a crash-consistent write-ahead log.
+///
+/// Every completed design point is appended to the journal at `spec.path`
+/// (created on first run); on restart, points whose content-addressed key
+/// is already journaled are *not* re-executed — their recorded runs are
+/// replayed bit-exactly — and only the missing points run. Because every
+/// point's RNG stream is a pure function of `(seed, design index)`, the
+/// merged result is bit-identical to an uninterrupted campaign at any
+/// thread count and any number of kill/resume cycles.
+///
+/// A torn trailing record (the append in flight when the process died)
+/// is truncated and re-executed; a corrupt frame elsewhere, or a journal
+/// written by a different code version / config / seed / design, fails
+/// with [`CampaignError::Journal`] instead of silently mixing results.
+pub fn run_campaign_resilient_journaled<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    spec: &JournalSpec<'_>,
+    measure: F,
+) -> Result<JournaledCampaign, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(CampaignError::EmptyDesign);
+    }
+    let meta = JournalMeta::new(
+        design,
+        config.seed,
+        spec.code_version,
+        spec.config_fingerprint,
+    );
+    let (journal, snapshot) = Journal::open_resume(spec.path, &meta)?;
+    let keys: Vec<JournalKey> = points.iter().map(|p| point_key(&meta, p)).collect();
+
+    let mut slots: Vec<Option<ResilientRun>> = vec![None; points.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (idx, key) in keys.iter().enumerate() {
+        match snapshot.record_for(*key) {
+            Some(record) => slots[idx] = Some(record.clone().into_run()),
+            None => missing.push(idx),
         }
     }
+    let resume = ResumeStats {
+        points_total: points.len(),
+        points_resumed: points.len() - missing.len(),
+        points_executed: missing.len(),
+        torn_tail_dropped: snapshot.torn,
+    };
 
-    if health.points_completed == 0 {
-        return Err(CampaignError::AllPointsFailed { health });
+    let executed = execute_journaled_subset(
+        &points, &keys, &missing, plan, config, policy, journal, &measure,
+    )?;
+    for (idx, run) in executed {
+        slots[idx] = Some(run);
     }
-    Ok(ResilientCampaignResult { runs, health })
+    let runs: Vec<ResilientRun> = slots
+        .into_iter()
+        .map(|s| s.expect("every design point journaled or executed"))
+        .collect();
+    Ok(JournaledCampaign {
+        result: finish_campaign(runs)?,
+        resume,
+    })
+}
+
+/// Executes only the design points in `indices` (the ones not yet in the
+/// journal), appending each to the journal at `spec.path` — the building
+/// block a sharded worker process runs on its assigned partition.
+///
+/// Unlike [`run_campaign_resilient_journaled`] this performs no
+/// completeness check and returns only the [`ResumeStats`]; the results
+/// themselves live in the journal, where the supervisor merges them.
+pub fn run_campaign_resilient_journaled_subset<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    spec: &JournalSpec<'_>,
+    indices: &[usize],
+    measure: F,
+) -> Result<ResumeStats, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(CampaignError::EmptyDesign);
+    }
+    for &idx in indices {
+        if idx >= points.len() {
+            return Err(CampaignError::BadPointIndex {
+                index: idx,
+                points: points.len(),
+            });
+        }
+    }
+    let meta = JournalMeta::new(
+        design,
+        config.seed,
+        spec.code_version,
+        spec.config_fingerprint,
+    );
+    let (journal, snapshot) = Journal::open_resume(spec.path, &meta)?;
+    let keys: Vec<JournalKey> = points.iter().map(|p| point_key(&meta, p)).collect();
+    let missing: Vec<usize> = indices
+        .iter()
+        .copied()
+        .filter(|&idx| snapshot.record_for(keys[idx]).is_none())
+        .collect();
+    let resume = ResumeStats {
+        points_total: indices.len(),
+        points_resumed: indices.len() - missing.len(),
+        points_executed: missing.len(),
+        torn_tail_dropped: snapshot.torn,
+    };
+    execute_journaled_subset(
+        &points, &keys, &missing, plan, config, policy, journal, &measure,
+    )?;
+    Ok(resume)
+}
+
+/// Runs `missing` through the engine with journal begin/point hooks; the
+/// first journal append error aborts the campaign after the engine
+/// drains (hooks themselves must not panic or early-exit workers).
+#[allow(clippy::too_many_arguments)] // internal plumbing of the journaled runners
+fn execute_journaled_subset<F>(
+    points: &[RunPoint],
+    keys: &[JournalKey],
+    missing: &[usize],
+    plan: &MeasurementPlan,
+    config: &CampaignConfig,
+    policy: &RetryPolicy,
+    journal: Journal,
+    measure: &F,
+) -> Result<Vec<(usize, ResilientRun)>, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
+{
+    let journal = Mutex::new(journal);
+    let hook_error: Mutex<Option<JournalError>> = Mutex::new(None);
+    let record_error = |err: JournalError| {
+        let mut slot = hook_error.lock().expect("journal hook mutex");
+        slot.get_or_insert(err);
+    };
+    let executed = run_resilient_subset(
+        points,
+        missing,
+        plan,
+        config,
+        policy,
+        None,
+        || (),
+        |(), point, rng| measure(point, rng),
+        |idx| {
+            let mut j = journal.lock().expect("journal mutex");
+            if let Err(e) = j.append_begin(idx, keys[idx]) {
+                record_error(e);
+            }
+        },
+        |idx, run| {
+            let record = PointRecord::from_run(idx, keys[idx], run);
+            let mut j = journal.lock().expect("journal mutex");
+            if let Err(e) = j.append_point(&record) {
+                record_error(e);
+            }
+        },
+    );
+    if let Some(err) = hook_error.lock().expect("journal hook mutex").take() {
+        return Err(CampaignError::Journal(err));
+    }
+    let mut journal = journal.into_inner().expect("journal mutex");
+    journal.sync()?;
+    Ok(executed)
 }
 
 #[cfg(test)]
@@ -1106,6 +1463,8 @@ mod tests {
             attempts_total: 17,
             samples_dropped: 42,
             panics_contained: 2,
+            workers_respawned: 4,
+            points_poisoned: 1,
         };
         let line = health.render();
         assert!(!line.contains('\n'));
@@ -1116,9 +1475,346 @@ mod tests {
             "1 abandoned",
             "42 samples dropped",
             "2 panics contained",
+            "4 workers respawned",
+            "1 points poisoned",
         ] {
             assert!(line.contains(needle), "missing {needle} in {line}");
         }
         assert!(!health.pristine());
+    }
+
+    #[test]
+    fn backoff_is_saturated_against_extremes() {
+        let policy = RetryPolicy {
+            max_attempts: usize::MAX,
+            backoff_base_ns: 1e9,
+            backoff_factor: 2.0,
+            point_budget_ns: None,
+            max_contamination: 0.0,
+        };
+        // Normal range unchanged: base · factor^(n−1).
+        assert_eq!(policy.backoff_ns(1), 1e9);
+        assert_eq!(policy.backoff_ns(2), 2e9);
+        assert_eq!(policy.backoff_ns(3), 4e9);
+        assert_eq!(policy.backoff_ns(0), 0.0);
+        // Huge attempt counts saturate at the cap instead of inf.
+        for n in [100, 10_000, usize::MAX] {
+            let b = policy.backoff_ns(n);
+            assert!(b.is_finite() && b >= 0.0, "backoff_ns({n}) = {b}");
+            assert_eq!(b, RetryPolicy::BACKOFF_CAP_NS);
+        }
+        // Pathological policies never produce NaN or negative waits.
+        let weird = |base: f64, factor: f64| RetryPolicy {
+            backoff_base_ns: base,
+            backoff_factor: factor,
+            ..RetryPolicy::default()
+        };
+        for (base, factor) in [
+            (-1e9, 2.0),
+            (f64::NAN, 2.0),
+            (1e9, f64::NAN),
+            (1e9, -3.0),
+            (f64::INFINITY, 2.0),
+            (1e9, f64::INFINITY),
+            (0.0, f64::INFINITY),
+            (f64::NEG_INFINITY, f64::NEG_INFINITY),
+        ] {
+            for n in [1usize, 2, 5, 1_000_000] {
+                let b = weird(base, factor).backoff_ns(n);
+                assert!(
+                    b.is_finite() && (0.0..=RetryPolicy::BACKOFF_CAP_NS).contains(&b),
+                    "backoff_ns({n}) = {b} for base={base}, factor={factor}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_policy_still_terminates_with_finite_budget_accounting() {
+        // factor = inf used to overflow the budget arithmetic to inf/NaN;
+        // now every wait is capped and the point times out cleanly.
+        let err = run_campaign_resilient(
+            &Design::new(vec![Factor::new("only", &["x"])]),
+            &fixed_plan(5),
+            &CampaignConfig {
+                seed: 5,
+                threads: 1,
+            },
+            &RetryPolicy {
+                max_attempts: 1_000,
+                backoff_base_ns: 1e30,
+                backoff_factor: f64::INFINITY,
+                point_budget_ns: Some(1e12),
+                max_contamination: 0.0,
+            },
+            |_point, _rng| Err::<f64, _>(MeasureFailure::Failed("always".into())),
+        )
+        .unwrap_err();
+        match err {
+            CampaignError::AllPointsFailed { health } => {
+                assert_eq!(health.points_timed_out, 1);
+                assert_eq!(health.attempts_total, 1, "{}", health.render());
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn saturating_add_never_leaves_the_finite_range() {
+        assert_eq!(saturating_add_ns(1.0, 2.0), 3.0);
+        assert_eq!(saturating_add_ns(5.0, -3.0), 5.0); // negative charges ignored
+        assert_eq!(saturating_add_ns(f64::MAX, f64::MAX), f64::MAX);
+        assert_eq!(saturating_add_ns(0.0, f64::NAN), 0.0);
+        assert!(saturating_add_ns(f64::MAX, f64::INFINITY).is_finite());
+    }
+
+    fn journal_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "scibench-resilience-journal-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn faulty_measure(_point: &RunPoint, rng: &mut SimRng) -> Result<f64, MeasureFailure> {
+        if rng.uniform() < 0.1 {
+            Err(MeasureFailure::Failed("flaky".into()))
+        } else {
+            Ok(1.0 + rng.uniform() * 0.2)
+        }
+    }
+
+    fn assert_bit_identical(a: &ResilientCampaignResult, b: &ResilientCampaignResult) {
+        assert_eq!(a.health, b.health);
+        assert_eq!(a.runs.len(), b.runs.len());
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.point, y.point);
+            assert_eq!(x.fate, y.fate);
+            assert_eq!(x.panics_contained, y.panics_contained);
+            match (&x.outcome, &y.outcome) {
+                (None, None) => {}
+                (Some(ox), Some(oy)) => {
+                    let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&ox.samples), bits(&oy.samples));
+                    assert_eq!(bits(&ox.warmup_samples), bits(&oy.warmup_samples));
+                }
+                other => panic!("outcome mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_campaign_matches_plain_and_resumes_without_rerunning() {
+        let dir = journal_dir("roundtrip");
+        let path = dir.join("campaign.journal");
+        let spec = JournalSpec {
+            path: &path,
+            code_version: "test-v1",
+            config_fingerprint: "cfg",
+        };
+        let config = CampaignConfig {
+            seed: 21,
+            threads: 2,
+        };
+        let plain = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(30),
+            &config,
+            &RetryPolicy::default(),
+            faulty_measure,
+        )
+        .unwrap();
+        let fresh = run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(30),
+            &config,
+            &RetryPolicy::default(),
+            &spec,
+            faulty_measure,
+        )
+        .unwrap();
+        assert_bit_identical(&plain, &fresh.result);
+        assert_eq!(fresh.resume.points_executed, 4);
+        assert_eq!(fresh.resume.points_resumed, 0);
+        // Second run: everything replayed from the journal — the measure
+        // closure must not even be called.
+        let resumed = run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(30),
+            &config,
+            &RetryPolicy::default(),
+            &spec,
+            |_point: &RunPoint, _rng: &mut SimRng| -> Result<f64, MeasureFailure> {
+                panic!("resume must not re-execute journaled points")
+            },
+        )
+        .unwrap();
+        assert_bit_identical(&plain, &resumed.result);
+        assert_eq!(resumed.resume.points_resumed, 4);
+        assert_eq!(resumed.resume.points_executed, 0);
+    }
+
+    #[test]
+    fn interrupted_journal_resumes_bit_identically() {
+        // Simulate a kill after k completed points by truncating the
+        // journal to its first k point records, then resume at several
+        // thread counts: the merged result must be bit-identical.
+        let dir = journal_dir("interrupted");
+        let reference_path = dir.join("reference.journal");
+        let spec = |path: &'static str| -> std::path::PathBuf { dir.join(path) };
+        let config = CampaignConfig {
+            seed: 22,
+            threads: 1,
+        };
+        let reference = run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(25),
+            &config,
+            &RetryPolicy::default(),
+            &JournalSpec {
+                path: &reference_path,
+                code_version: "test-v1",
+                config_fingerprint: "cfg",
+            },
+            faulty_measure,
+        )
+        .unwrap();
+        let full = std::fs::read_to_string(&reference_path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        for keep_frames in 1..lines.len() {
+            for threads in [1usize, 2, 8] {
+                let path = spec("cut.journal");
+                let prefix: String = lines[..keep_frames]
+                    .iter()
+                    .map(|l| format!("{l}\n"))
+                    .collect();
+                std::fs::write(&path, prefix).unwrap();
+                let resumed = run_campaign_resilient_journaled(
+                    &demo_design(),
+                    &fixed_plan(25),
+                    &CampaignConfig { seed: 22, threads },
+                    &RetryPolicy::default(),
+                    &JournalSpec {
+                        path: &path,
+                        code_version: "test-v1",
+                        config_fingerprint: "cfg",
+                    },
+                    faulty_measure,
+                )
+                .unwrap();
+                assert_bit_identical(&reference.result, &resumed.result);
+                std::fs::remove_file(&path).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_subset_feeds_a_full_resume() {
+        // A "worker" executes half the points through the subset runner;
+        // the full journaled run then only executes the other half and
+        // still matches the plain campaign bit-for-bit.
+        let dir = journal_dir("subset");
+        let path = dir.join("campaign.journal");
+        let spec = JournalSpec {
+            path: &path,
+            code_version: "test-v1",
+            config_fingerprint: "cfg",
+        };
+        let config = CampaignConfig {
+            seed: 23,
+            threads: 1,
+        };
+        let stats = run_campaign_resilient_journaled_subset(
+            &demo_design(),
+            &fixed_plan(20),
+            &config,
+            &RetryPolicy::default(),
+            &spec,
+            &[0, 2],
+            faulty_measure,
+        )
+        .unwrap();
+        assert_eq!(stats.points_executed, 2);
+        let full = run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(20),
+            &config,
+            &RetryPolicy::default(),
+            &spec,
+            faulty_measure,
+        )
+        .unwrap();
+        assert_eq!(full.resume.points_resumed, 2);
+        assert_eq!(full.resume.points_executed, 2);
+        let plain = run_campaign_resilient(
+            &demo_design(),
+            &fixed_plan(20),
+            &config,
+            &RetryPolicy::default(),
+            faulty_measure,
+        )
+        .unwrap();
+        assert_bit_identical(&plain, &full.result);
+        // Out-of-range index is a typed error.
+        assert!(matches!(
+            run_campaign_resilient_journaled_subset(
+                &demo_design(),
+                &fixed_plan(20),
+                &config,
+                &RetryPolicy::default(),
+                &spec,
+                &[99],
+                faulty_measure,
+            ),
+            Err(CampaignError::BadPointIndex {
+                index: 99,
+                points: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn stale_journal_surfaces_as_campaign_error() {
+        let dir = journal_dir("stale");
+        let path = dir.join("campaign.journal");
+        let config = CampaignConfig {
+            seed: 24,
+            threads: 1,
+        };
+        run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(10),
+            &config,
+            &RetryPolicy::default(),
+            &JournalSpec {
+                path: &path,
+                code_version: "test-v1",
+                config_fingerprint: "cfg",
+            },
+            clean_measure,
+        )
+        .unwrap();
+        let err = run_campaign_resilient_journaled(
+            &demo_design(),
+            &fixed_plan(10),
+            &config,
+            &RetryPolicy::default(),
+            &JournalSpec {
+                path: &path,
+                code_version: "test-v2",
+                config_fingerprint: "cfg",
+            },
+            clean_measure,
+        )
+        .unwrap_err();
+        match err {
+            CampaignError::Journal(JournalError::Stale { field, .. }) => {
+                assert_eq!(field, "code_version");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(err.to_string().contains("stale journal refused"));
     }
 }

@@ -9,8 +9,13 @@
 //!   campaigns, resilient campaigns and figure generation. Determinism is
 //!   a hard contract: results are a pure function of the task inputs,
 //!   never of thread scheduling (see [`pool::run_indexed`]).
+//! * [`shard`] — supervised shared-nothing execution across child OS
+//!   processes: heartbeat watchdog, kill-and-respawn, and persistent
+//!   quarantine of points that repeatedly crash their worker, all backed
+//!   by per-shard crash-consistent journals.
 
 pub mod pool;
 pub mod process;
+pub mod shard;
 
 pub use process::*;

@@ -78,9 +78,17 @@ pub fn summarize_across_processes(
 }
 
 /// Collapses one repetition's per-rank values with the chosen summary.
+///
+/// Non-finite values are rejected with [`StatsError::NonFiniteSample`]:
+/// `f64::max`/`f64::min` silently discard NaN operands, so a NaN rank
+/// timing would otherwise vanish into a plausible-looking max/min
+/// instead of flagging the corrupt measurement.
 pub fn collapse_repetition(values_per_rank: &[f64], how: CrossProcessSummary) -> StatsResult<f64> {
     if values_per_rank.is_empty() {
         return Err(StatsError::EmptySample);
+    }
+    if values_per_rank.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteSample);
     }
     Ok(match how {
         CrossProcessSummary::Max => values_per_rank
@@ -173,5 +181,54 @@ mod tests {
     fn errors_on_degenerate_input() {
         assert!(summarize_across_processes(&[vec![1.0, 2.0]], 0.05).is_err());
         assert!(collapse_repetition(&[], CrossProcessSummary::Max).is_err());
+    }
+
+    #[test]
+    fn non_finite_ranks_are_rejected_not_dropped() {
+        // Without the guard, fold(NEG_INFINITY, f64::max) over
+        // [NaN, 1.0] returns 1.0 — the corrupt rank silently vanishes.
+        for how in [
+            CrossProcessSummary::Max,
+            CrossProcessSummary::Min,
+            CrossProcessSummary::Median,
+        ] {
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                assert_eq!(
+                    collapse_repetition(&[bad, 1.0], how),
+                    Err(StatsError::NonFiniteSample),
+                    "{how:?} accepted {bad}"
+                );
+                assert_eq!(
+                    collapse_repetition(&[1.0, 2.0, bad], how),
+                    Err(StatsError::NonFiniteSample),
+                    "{how:?} accepted trailing {bad}"
+                );
+            }
+            // All-NaN input must not produce the fold identity element.
+            assert_eq!(
+                collapse_repetition(&[f64::NAN], how),
+                Err(StatsError::NonFiniteSample)
+            );
+        }
+        // Boundary: extreme but finite values still collapse normally.
+        let extremes = [f64::MAX, f64::MIN, 0.0];
+        assert_eq!(
+            collapse_repetition(&extremes, CrossProcessSummary::Max).unwrap(),
+            f64::MAX
+        );
+        assert_eq!(
+            collapse_repetition(&extremes, CrossProcessSummary::Min).unwrap(),
+            f64::MIN
+        );
+        assert_eq!(
+            collapse_repetition(&extremes, CrossProcessSummary::Median).unwrap(),
+            0.0
+        );
+        // One bad repetition fails the whole campaign collapse loudly.
+        let reps = vec![vec![1.0, 2.0], vec![f64::NAN, 3.0]];
+        assert_eq!(
+            collapse_campaign(&reps, CrossProcessSummary::Max),
+            Err(StatsError::NonFiniteSample)
+        );
     }
 }

@@ -1,0 +1,200 @@
+//! Durability end-to-end: the crash-consistent campaign journal and the
+//! supervised process-shard executor.
+//!
+//! The central guarantee under test is Rule-style reproducibility under
+//! failure: a campaign that is interrupted at an *arbitrary byte* of its
+//! journal and then resumed — possibly with a different thread count or
+//! shard partition — produces a result **bit-identical** to the
+//! uninterrupted run. The process-level scenarios (kill -9 mid-run,
+//! supervisor kill, poisoned points crashing their worker) are driven
+//! through the `chaos_campaign` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use proptest::prelude::*;
+
+use scibench::experiment::journal::{result_digest, JournalSpec};
+use scibench::experiment::{
+    run_campaign_resilient, run_campaign_resilient_journaled,
+    run_campaign_resilient_journaled_subset, CampaignConfig, Design, Factor, MeasureFailure,
+    MeasurementPlan, ResilientCampaignResult, RetryPolicy, RunPoint, StoppingRule,
+};
+use scibench_sim::rng::SimRng;
+
+const SEED: u64 = 0x51B3_0001;
+const CODE_VERSION: &str = "integration-journal-v1";
+const CONFIG_FINGERPRINT: &str = "integration-journal-machine";
+
+fn demo_design() -> Design {
+    Design::new(vec![
+        Factor::new("kernel", &["a", "bb", "ccc"]),
+        Factor::numeric("n", &[4.0, 32.0]),
+    ])
+}
+
+fn demo_plan() -> MeasurementPlan {
+    MeasurementPlan::new("itest").stopping(StoppingRule::FixedCount(12))
+}
+
+fn demo_config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: SEED,
+        threads,
+    }
+}
+
+/// Deterministic per (seed, point, attempt, sample), with a flake rate
+/// high enough that retries and dropped samples actually occur.
+fn demo_measure(point: &RunPoint, rng: &mut SimRng) -> Result<f64, MeasureFailure> {
+    if rng.uniform() < 0.1 {
+        return Err(MeasureFailure::Failed("injected flake".into()));
+    }
+    let scale: f64 = point.level(1).parse().expect("numeric level");
+    Ok(point.level(0).len() as f64 + scale.sqrt() + rng.uniform())
+}
+
+fn reference() -> ResilientCampaignResult {
+    run_campaign_resilient(
+        &demo_design(),
+        &demo_plan(),
+        &demo_config(1),
+        &RetryPolicy::default(),
+        demo_measure,
+    )
+    .expect("reference campaign")
+}
+
+fn tmp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scibench-itest-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    dir.join(format!("{name}.journal"))
+}
+
+fn spec(path: &PathBuf) -> JournalSpec<'_> {
+    JournalSpec {
+        path,
+        code_version: CODE_VERSION,
+        config_fingerprint: CONFIG_FINGERPRINT,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill-at-any-byte: complete a journaled run, truncate the journal
+    /// at an arbitrary byte (simulating a crash mid-append anywhere in
+    /// the file), resume at an arbitrary thread count, and require the
+    /// merged result to be bit-identical to the uninterrupted run.
+    #[test]
+    fn truncated_journal_resumes_bit_identically(
+        cut_frac in 0.0f64..1.001,
+        threads in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let want = result_digest(&reference());
+        let path = tmp_journal(&format!("truncate-{threads}"));
+        let _ = std::fs::remove_file(&path);
+        let full = run_campaign_resilient_journaled(
+            &demo_design(),
+            &demo_plan(),
+            &demo_config(1),
+            &RetryPolicy::default(),
+            &spec(&path),
+            demo_measure,
+        ).expect("full journaled run");
+        prop_assert_eq!(result_digest(&full.result), want);
+
+        let bytes = std::fs::read(&path).expect("read journal");
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        std::fs::write(&path, &bytes[..cut.min(bytes.len())]).expect("truncate journal");
+
+        let resumed = run_campaign_resilient_journaled(
+            &demo_design(),
+            &demo_plan(),
+            &demo_config(threads),
+            &RetryPolicy::default(),
+            &spec(&path),
+            demo_measure,
+        ).expect("resumed journaled run");
+        prop_assert_eq!(result_digest(&resumed.result), want);
+        prop_assert_eq!(
+            resumed.resume.points_resumed + resumed.resume.points_executed,
+            demo_design().size()
+        );
+    }
+}
+
+/// Shard-partitioned execution: run strided subsets into one journal
+/// (shard counts 1, 2 and 4), then resume the whole campaign — nothing
+/// should be left to execute and the digest must match the
+/// uninterrupted single-process run.
+#[test]
+fn sharded_subsets_merge_bit_identically() {
+    let want = result_digest(&reference());
+    let points = demo_design().size();
+    for shards in [1usize, 2, 4] {
+        let path = tmp_journal(&format!("shards-{shards}"));
+        let _ = std::fs::remove_file(&path);
+        for shard in 0..shards {
+            let indices: Vec<usize> = (shard..points).step_by(shards).collect();
+            let stats = run_campaign_resilient_journaled_subset(
+                &demo_design(),
+                &demo_plan(),
+                &demo_config(2),
+                &RetryPolicy::default(),
+                &spec(&path),
+                &indices,
+                demo_measure,
+            )
+            .expect("subset run");
+            assert_eq!(
+                stats.points_executed,
+                indices.len(),
+                "shard {shard}/{shards}"
+            );
+        }
+        let merged = run_campaign_resilient_journaled(
+            &demo_design(),
+            &demo_plan(),
+            &demo_config(1),
+            &RetryPolicy::default(),
+            &spec(&path),
+            demo_measure,
+        )
+        .expect("merge resume");
+        assert_eq!(
+            merged.resume.points_executed, 0,
+            "{shards} shards left work"
+        );
+        assert_eq!(merged.resume.points_resumed, points);
+        assert_eq!(
+            result_digest(&merged.result),
+            want,
+            "{shards} shards diverged"
+        );
+    }
+}
+
+/// The full process-level chaos dance via the dedicated binary:
+/// kill -9 + resume bit-identity, supervised shard counts 1/2/4,
+/// supervisor kill + restart, and poisoned-point quarantine after K
+/// worker crashes. Each violation is a FAIL line and a non-zero exit.
+#[cfg(unix)]
+#[test]
+fn chaos_campaign_selftest_passes() {
+    let out = Command::new(env!("CARGO_BIN_EXE_chaos_campaign"))
+        .arg("selftest")
+        .output()
+        .expect("spawn chaos_campaign");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "chaos selftest failed ({}):\n{stdout}\n{stderr}",
+        out.status
+    );
+    assert!(
+        stdout.contains("selftest OK"),
+        "unexpected output:\n{stdout}"
+    );
+}

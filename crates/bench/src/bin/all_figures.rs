@@ -371,6 +371,7 @@ fn run_journaled(
         panics_contained: 0,
         outcome: None,
         notes: messages.clone(),
+        sketch: None,
     };
     ctx.journal
         .lock()

@@ -35,6 +35,7 @@ use rand::{Rng, SeedableRng};
 use scibench::experiment::campaign::{run_campaign, CampaignConfig};
 use scibench::experiment::design::{Design, Factor, RunPoint};
 use scibench::experiment::measurement::{MeasurementPlan, StoppingRule};
+use scibench::experiment::stream::run_campaign_stream;
 use scibench_bench::figures::fig5_reduce;
 use scibench_bench::DEFAULT_SEED;
 use scibench_sim::alloc::{Allocation, AllocationPolicy};
@@ -47,10 +48,12 @@ use scibench_stats::bootstrap::{bootstrap_ci, bootstrap_median_ci, mix_seed};
 use scibench_stats::ci;
 use scibench_stats::dist::normal::std_normal_inv_cdf;
 use scibench_stats::quantile::{quantile, FiveNumberSummary, QuantileMethod};
+use scibench_stats::sketch::{MergeableSummary, StreamConfig, StreamingSummary};
 use scibench_stats::sorted::SortedSamples;
 
 const SCHEMA: &str = "scibench-bench-baseline/v1";
 const SCHEMA_SIM: &str = "scibench-bench-baseline-sim/v1";
+const SCHEMA_STREAM: &str = "scibench-bench-baseline-stream/v1";
 
 /// Benchmark ids every baseline file must contain, with their targets
 /// (`None` = informational, no threshold).
@@ -68,16 +71,40 @@ const EXPECTED_SIM: &[(&str, Option<f64>)] = &[
     ("sim_barrier_replay_64", None),
 ];
 
+/// Benchmark ids of the streaming baseline (`BENCH_stream.json`). The
+/// gate on these pairs is the *memory* ratio (vector-mode resident bytes
+/// over sketch-mode resident bytes), not wall clock — streaming trades a
+/// constant per-sample cost for O(sketch) memory.
+const EXPECTED_STREAM: &[(&str, Option<f64>)] = &[
+    ("stream_campaign_1m_samples", None),
+    ("tdigest_quantiles_1m", None),
+];
+
+#[derive(Default)]
 struct BenchResult {
     id: &'static str,
     old_ns: u128,
     new_ns: u128,
     target: Option<f64>,
+    /// Resident bytes of the pre-change (vector) side, for memory pairs.
+    old_bytes: Option<usize>,
+    /// Resident bytes of the streaming side, for memory pairs.
+    new_bytes: Option<usize>,
+    /// Minimum acceptable `old_bytes / new_bytes`, enforced like a
+    /// speedup target.
+    target_mem_ratio: Option<f64>,
 }
 
 impl BenchResult {
     fn speedup(&self) -> f64 {
         self.old_ns as f64 / self.new_ns.max(1) as f64
+    }
+
+    fn mem_ratio(&self) -> Option<f64> {
+        match (self.old_bytes, self.new_bytes) {
+            (Some(old), Some(new)) => Some(old as f64 / new.max(1) as f64),
+            _ => None,
+        }
     }
 }
 
@@ -106,12 +133,18 @@ fn main() -> ExitCode {
         _ => {
             let quick = args.iter().any(|a| a == "--quick");
             let sim = args.iter().any(|a| a == "--sim");
-            if let Some(other) = args.iter().find(|a| *a != "--quick" && *a != "--sim") {
+            let stream = args.iter().any(|a| a == "--stream");
+            if let Some(other) = args
+                .iter()
+                .find(|a| *a != "--quick" && *a != "--sim" && *a != "--stream")
+            {
                 eprintln!("bench_baseline: unknown argument {other}");
                 return ExitCode::FAILURE;
             }
             if sim {
                 run_sim_benches(quick)
+            } else if stream {
+                run_stream_benches(quick)
             } else {
                 run_benches(quick)
             }
@@ -148,6 +181,20 @@ fn run_sim_benches(quick: bool) -> ExitCode {
     report_and_write(outcomes, quick, SCHEMA_SIM, "BENCH_sim.json")
 }
 
+/// Streaming pairs: the vector-backed campaign/quantile path versus the
+/// mergeable-sketch path on million-sample workloads. The headline
+/// number is the memory ratio (each pair carries a ≥ 50× gate); wall
+/// clock is informational. Each pair also asserts sketch accuracy
+/// against the exact answer before any timing. Writes
+/// `BENCH_stream.json`.
+fn run_stream_benches(quick: bool) -> ExitCode {
+    let outcomes: Result<Vec<BenchResult>, String> =
+        [bench_stream_campaign(quick), bench_tdigest_quantiles(quick)]
+            .into_iter()
+            .collect();
+    report_and_write(outcomes, quick, SCHEMA_STREAM, "BENCH_stream.json")
+}
+
 fn report_and_write(
     outcomes: Result<Vec<BenchResult>, String>,
     quick: bool,
@@ -168,7 +215,7 @@ fn report_and_write(
     );
     for r in &results {
         println!(
-            "{:<32} {:>12} {:>12} {:>8.2}x{}",
+            "{:<32} {:>12} {:>12} {:>8.2}x{}{}",
             r.id,
             pretty_ns(r.old_ns),
             pretty_ns(r.new_ns),
@@ -176,6 +223,11 @@ fn report_and_write(
             match r.target {
                 Some(t) => format!("  (target {t:.0}x)"),
                 None => String::new(),
+            },
+            match (r.mem_ratio(), r.target_mem_ratio) {
+                (Some(m), Some(t)) => format!("  mem {m:.0}x (target {t:.0}x)"),
+                (Some(m), None) => format!("  mem {m:.0}x"),
+                _ => String::new(),
             }
         );
     }
@@ -195,6 +247,23 @@ fn report_and_write(
                     r.speedup()
                 );
                 failed = true;
+            }
+        }
+        if let Some(target) = r.target_mem_ratio {
+            match r.mem_ratio() {
+                Some(ratio) if ratio >= target => {}
+                Some(ratio) => {
+                    eprintln!(
+                        "bench_baseline: {} memory ratio {ratio:.1}x below the \
+                         {target:.0}x target",
+                        r.id
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("bench_baseline: {} is missing byte accounting", r.id);
+                    failed = true;
+                }
             }
         }
     }
@@ -369,6 +438,7 @@ fn bench_campaign(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: Some(3.0),
+        ..BenchResult::default()
     })
 }
 
@@ -437,6 +507,7 @@ fn bench_bootstrap_median(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: Some(5.0),
+        ..BenchResult::default()
     })
 }
 
@@ -482,6 +553,7 @@ fn bench_bootstrap_mean(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: None,
+        ..BenchResult::default()
     })
 }
 
@@ -529,6 +601,7 @@ fn bench_sorted_quantiles(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: None,
+        ..BenchResult::default()
     })
 }
 
@@ -721,6 +794,7 @@ fn bench_fig5_pipeline(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: Some(3.0),
+        ..BenchResult::default()
     })
 }
 
@@ -761,6 +835,7 @@ fn bench_reduce_replay(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: Some(5.0),
+        ..BenchResult::default()
     })
 }
 
@@ -801,6 +876,186 @@ fn bench_barrier_replay(quick: bool) -> Result<BenchResult, String> {
         old_ns,
         new_ns,
         target: None,
+        ..BenchResult::default()
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pairs 8-9: streaming statistics (vector mode versus mergeable
+// sketches) on million-sample workloads.
+// ---------------------------------------------------------------------
+
+/// Heavy-tailed measurement used by both streaming pairs: a shifted
+/// exponential with CoV ≈ 0.9, the regime where mean-based summaries
+/// mislead and quantile sketches have to earn their keep.
+fn stream_measure(point: &RunPoint, rng: &mut SimRng) -> f64 {
+    let base = if point.level(0) == "a" { 0.1 } else { 0.2 };
+    let u = rng.uniform().clamp(1e-12, 1.0 - 1e-12);
+    base + (-u.ln())
+}
+
+fn bench_stream_campaign(quick: bool) -> Result<BenchResult, String> {
+    // A full campaign at 10⁶ samples per point (the ISSUE acceptance
+    // scale): vector mode keeps 4 × 8 MB of samples resident, streaming
+    // mode keeps 4 sketches.
+    let n = if quick { 20_000 } else { 1_000_000 };
+    let design = Design::new(vec![
+        Factor::new("system", &["a", "b"]),
+        Factor::numeric("size", &[8.0, 64.0]),
+    ]);
+    let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(n));
+    let stream_cfg = StreamConfig::default();
+    let config = CampaignConfig {
+        seed: 31,
+        threads: 4,
+    };
+
+    // Untimed correctness + accounting pass: the sketch campaign's
+    // quantiles must sit within 1% relative of the exact answer on the
+    // identical sample streams before any timing is trusted.
+    let vector = run_campaign(&design, &plan, &config, stream_measure)
+        .map_err(|e| format!("stream_campaign_1m_samples: vector pass: {e}"))?;
+    let stream = run_campaign_stream(&design, &plan, &stream_cfg, &config, stream_measure)
+        .map_err(|e| format!("stream_campaign_1m_samples: stream pass: {e}"))?;
+    let mut old_bytes = 0usize;
+    let mut new_bytes = 0usize;
+    for (vr, sr) in vector.runs.iter().zip(&stream.runs) {
+        old_bytes += vr.outcome.samples.len() * std::mem::size_of::<f64>();
+        new_bytes += sr.outcome.summary.resident_bytes();
+        let sorted = SortedSamples::new(&vr.outcome.samples)
+            .map_err(|e| format!("stream_campaign_1m_samples: sort: {e}"))?;
+        for p in [0.5, 0.9, 0.99] {
+            let exact = sorted
+                .quantile(p, QuantileMethod::Interpolated)
+                .map_err(|e| format!("stream_campaign_1m_samples: exact q{p}: {e}"))?;
+            let approx = sr
+                .outcome
+                .summary
+                .quantile(p)
+                .map_err(|e| format!("stream_campaign_1m_samples: sketch q{p}: {e}"))?;
+            let rel = (approx - exact).abs() / exact.abs().max(f64::MIN_POSITIVE);
+            if rel > 0.01 {
+                return Err(format!(
+                    "stream_campaign_1m_samples: q{p} off by {:.2}% \
+                     (exact {exact}, sketch {approx})",
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+
+    let mut harness_err: Option<String> = None;
+    let old_ns = time_best(quick, || {
+        match run_campaign(&design, &plan, &config, stream_measure) {
+            Ok(result) => assert_eq!(result.runs.len(), 4),
+            Err(e) => harness_err = Some(e.to_string()),
+        }
+    });
+    let new_ns = time_best(quick, || {
+        match run_campaign_stream(&design, &plan, &stream_cfg, &config, stream_measure) {
+            Ok(result) => assert_eq!(result.runs.len(), 4),
+            Err(e) => harness_err = Some(e.to_string()),
+        }
+    });
+    if let Some(e) = harness_err {
+        return Err(format!("stream_campaign_1m_samples: {e}"));
+    }
+    Ok(BenchResult {
+        id: "stream_campaign_1m_samples",
+        old_ns,
+        new_ns,
+        target: None,
+        old_bytes: Some(old_bytes),
+        new_bytes: Some(new_bytes),
+        target_mem_ratio: Some(50.0),
+    })
+}
+
+fn bench_tdigest_quantiles(quick: bool) -> Result<BenchResult, String> {
+    // Raw quantile extraction at n = 10⁶: sort-and-query versus
+    // push-into-sketch-and-query. Accuracy is gated by *rank*: the
+    // sketch's value must land between the exact quantiles at p ± 0.01.
+    let n = if quick { 50_000 } else { 1_000_000 };
+    let design = Design::new(vec![Factor::new("system", &["a"])]);
+    let point = &design.full_factorial()[0];
+    let fill =
+        |rng: &mut SimRng| -> Vec<f64> { (0..n).map(|_| stream_measure(point, rng)).collect() };
+    let xs = fill(&mut SimRng::new(19).fork("tdigest"));
+
+    let mut summary = StreamingSummary::new(StreamConfig::default())
+        .map_err(|e| format!("tdigest_quantiles_1m: config: {e}"))?;
+    for &x in &xs {
+        summary.push(x);
+    }
+    let sorted = SortedSamples::new(&xs).map_err(|e| format!("tdigest_quantiles_1m: sort: {e}"))?;
+    for p in [0.5, 0.9, 0.99] {
+        let lo = sorted
+            .quantile((p - 0.01f64).max(0.0), QuantileMethod::Interpolated)
+            .map_err(|e| format!("tdigest_quantiles_1m: rank lo: {e}"))?;
+        let hi = sorted
+            .quantile((p + 0.01f64).min(1.0), QuantileMethod::Interpolated)
+            .map_err(|e| format!("tdigest_quantiles_1m: rank hi: {e}"))?;
+        let approx = summary
+            .quantile(p)
+            .map_err(|e| format!("tdigest_quantiles_1m: sketch: {e}"))?;
+        if !(lo <= approx && approx <= hi) {
+            return Err(format!(
+                "tdigest_quantiles_1m: q{p} = {approx} outside rank window \
+                 [{lo}, {hi}]"
+            ));
+        }
+    }
+
+    let ps = [0.25, 0.5, 0.75, 0.9, 0.99];
+    let mut harness_err: Option<String> = None;
+    let old_ns = time_best(quick, || {
+        let sorted = match SortedSamples::new(&xs) {
+            Ok(s) => s,
+            Err(e) => {
+                harness_err = Some(e.to_string());
+                return;
+            }
+        };
+        let mut acc = 0.0;
+        for p in ps {
+            match sorted.quantile(p, QuantileMethod::Interpolated) {
+                Ok(q) => acc += q,
+                Err(e) => harness_err = Some(e.to_string()),
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let new_ns = time_best(quick, || {
+        let mut s = match StreamingSummary::new(StreamConfig::default()) {
+            Ok(s) => s,
+            Err(e) => {
+                harness_err = Some(e.to_string());
+                return;
+            }
+        };
+        for &x in &xs {
+            s.push(x);
+        }
+        let mut acc = 0.0;
+        for p in ps {
+            match s.quantile(p) {
+                Ok(q) => acc += q,
+                Err(e) => harness_err = Some(e.to_string()),
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    if let Some(e) = harness_err {
+        return Err(format!("tdigest_quantiles_1m: {e}"));
+    }
+    Ok(BenchResult {
+        id: "tdigest_quantiles_1m",
+        old_ns,
+        new_ns,
+        target: None,
+        old_bytes: Some(xs.len() * std::mem::size_of::<f64>()),
+        new_bytes: Some(summary.resident_bytes()),
+        target_mem_ratio: Some(50.0),
     })
 }
 
@@ -815,18 +1070,27 @@ fn render_json(results: &[BenchResult], schema: &str) -> String {
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
-        let _ = writeln!(out, "      \"id\": \"{}\",", r.id);
-        let _ = writeln!(out, "      \"old_ns\": {},", r.old_ns);
-        let _ = writeln!(out, "      \"new_ns\": {},", r.new_ns);
-        match r.target {
-            Some(t) => {
-                let _ = writeln!(out, "      \"speedup\": {:.2},", r.speedup());
-                let _ = writeln!(out, "      \"target_speedup\": {t:.1}");
-            }
-            None => {
-                let _ = writeln!(out, "      \"speedup\": {:.2}", r.speedup());
+        let mut fields = vec![
+            format!("      \"id\": \"{}\"", r.id),
+            format!("      \"old_ns\": {}", r.old_ns),
+            format!("      \"new_ns\": {}", r.new_ns),
+            format!("      \"speedup\": {:.2}", r.speedup()),
+        ];
+        if let Some(t) = r.target {
+            fields.push(format!("      \"target_speedup\": {t:.1}"));
+        }
+        if let (Some(old), Some(new)) = (r.old_bytes, r.new_bytes) {
+            fields.push(format!("      \"old_bytes\": {old}"));
+            fields.push(format!("      \"new_bytes\": {new}"));
+            if let Some(ratio) = r.mem_ratio() {
+                fields.push(format!("      \"mem_ratio\": {ratio:.2}"));
             }
         }
+        if let Some(t) = r.target_mem_ratio {
+            fields.push(format!("      \"target_mem_ratio\": {t:.1}"));
+        }
+        out.push_str(&fields.join(",\n"));
+        out.push('\n');
         out.push_str(if i + 1 == results.len() {
             "    }\n"
         } else {
@@ -855,11 +1119,13 @@ fn verify(path: &str) -> Result<String, String> {
     let expected: &[(&str, Option<f64>)] =
         if text.contains(&format!("\"schema\": \"{SCHEMA_SIM}\"")) {
             EXPECTED_SIM
+        } else if text.contains(&format!("\"schema\": \"{SCHEMA_STREAM}\"")) {
+            EXPECTED_STREAM
         } else if text.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
             EXPECTED
         } else {
             return Err(format!(
-                "no known schema marker ({SCHEMA:?} or {SCHEMA_SIM:?}) found"
+                "no known schema marker ({SCHEMA:?}, {SCHEMA_SIM:?} or {SCHEMA_STREAM:?}) found"
             ));
         };
     let mut report = String::from("baseline OK:\n");
@@ -886,7 +1152,20 @@ fn verify(path: &str) -> Result<String, String> {
                 ));
             }
         }
-        let _ = writeln!(report, "  {id}: {speedup:.2}x");
+        // Memory pairs are gated by their recorded ratio, same as
+        // speedup targets.
+        if let Some(target) = field_number(entry, "target_mem_ratio") {
+            let ratio = field_number(entry, "mem_ratio")
+                .ok_or_else(|| format!("{id}: mem_ratio missing"))?;
+            if ratio < target {
+                return Err(format!(
+                    "{id}: recorded memory ratio {ratio:.1}x below target {target:.0}x"
+                ));
+            }
+            let _ = writeln!(report, "  {id}: {speedup:.2}x, mem {ratio:.0}x");
+        } else {
+            let _ = writeln!(report, "  {id}: {speedup:.2}x");
+        }
     }
     Ok(report.trim_end().to_string())
 }

@@ -153,6 +153,7 @@ pub fn run_campaign_scoped<S, I, F>(
     measure: F,
 ) -> StatsResult<CampaignResult>
 where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &RunPoint, &mut SimRng) -> f64 + Sync,
 {
@@ -170,6 +171,7 @@ pub fn run_campaign_scoped_traced<S, I, F>(
     measure: F,
 ) -> StatsResult<CampaignResult>
 where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &RunPoint, &mut SimRng) -> f64 + Sync,
 {

@@ -357,6 +357,10 @@ pub struct PointRecord {
     pub outcome: Option<MeasurementOutcome>,
     /// Free-form annotations (e.g. progress lines to replay on resume).
     pub notes: Vec<String>,
+    /// Canonical streaming-sketch record for the point, when the
+    /// campaign ran in streaming mode (`scibench_stats::sketch`
+    /// wire form — bit-exact, NaN-safe).
+    pub sketch: Option<String>,
 }
 
 impl PointRecord {
@@ -370,6 +374,7 @@ impl PointRecord {
             panics_contained: run.panics_contained,
             outcome: run.outcome.clone(),
             notes: Vec::new(),
+            sketch: None,
         }
     }
 
@@ -439,9 +444,13 @@ impl PointRecord {
             .map(|l| format!("\"{}\"", esc(l)))
             .collect::<Vec<_>>()
             .join(",");
+        let sketch = match &self.sketch {
+            None => String::new(),
+            Some(s) => format!(",\"sketch\":\"{}\"", esc(s)),
+        };
         format!(
             "{{\"kind\":\"point\",\"idx\":{},\"key\":\"{}\",\"levels\":[{levels}],\
-             \"fate\":{fate},\"panics\":{},\"outcome\":{outcome},\"notes\":[{notes}]}}",
+             \"fate\":{fate},\"panics\":{},\"outcome\":{outcome},\"notes\":[{notes}]{sketch}}}",
             self.index, self.key, self.panics_contained,
         )
     }
@@ -481,6 +490,10 @@ impl PointRecord {
             panics_contained: get_usize(v, "panics")?,
             outcome,
             notes: get_strings(v, "notes").unwrap_or_default(),
+            sketch: match v.get("sketch") {
+                Some(JsonValue::Null) | None => None,
+                Some(_) => Some(get_str(v, "sketch")?.to_owned()),
+            },
         })
     }
 }
@@ -905,12 +918,46 @@ mod tests {
                 panics_contained: 0,
                 outcome: None,
                 notes: vec!["note one".into()],
+                sketch: None,
             };
             let parsed = PointRecord::from_json(&parse_json(&rec.to_json()).unwrap()).unwrap();
             assert_eq!(parsed.fate, fate);
             assert!(parsed.outcome.is_none());
             assert_eq!(parsed.notes, vec!["note one".to_string()]);
+            assert!(parsed.sketch.is_none());
         }
+    }
+
+    #[test]
+    fn sketch_field_roundtrips_bit_exactly_and_is_optional() {
+        // A record with an embedded NaN-bearing sketch wire form must
+        // survive the JSON round trip byte-for-byte; records written
+        // before the field existed must still parse.
+        let wire = "ss1|thr=16|delta=200|mom=om1;2;1;3ff8000000000000;\
+                    0000000000000000;3ff8000000000000;3ff8000000000000|grid=-|\
+                    repr=exact:3ff8000000000000,7ff8000000000000";
+        let rec = PointRecord {
+            index: 4,
+            key: JournalKey(0xdead_beef),
+            levels: vec!["n=8".into()],
+            fate: PointFate::Completed {
+                attempts: 1,
+                samples_dropped: 0,
+            },
+            panics_contained: 0,
+            outcome: None,
+            notes: Vec::new(),
+            sketch: Some(wire.to_owned()),
+        };
+        let parsed = PointRecord::from_json(&parse_json(&rec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed.sketch.as_deref(), Some(wire));
+        assert_eq!(parsed.to_json(), rec.to_json());
+        // Pre-sketch-era JSON (no "sketch" key) parses as None.
+        let legacy = rec
+            .to_json()
+            .replace(&format!(",\"sketch\":\"{wire}\""), "");
+        let parsed = PointRecord::from_json(&parse_json(&legacy).unwrap()).unwrap();
+        assert!(parsed.sketch.is_none());
     }
 
     #[test]

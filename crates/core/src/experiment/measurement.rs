@@ -197,7 +197,7 @@ impl MeasurementPlan {
         })
     }
 
-    fn validate(&self) -> StatsResult<()> {
+    pub(crate) fn validate(&self) -> StatsResult<()> {
         match self.stopping {
             StoppingRule::FixedCount(n) => {
                 if n == 0 {

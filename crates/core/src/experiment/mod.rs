@@ -17,6 +17,9 @@
 //! - [`journal`]: a crash-consistent, CRC-framed write-ahead log of
 //!   per-point results with content-addressed keys, so interrupted
 //!   campaigns resume bit-identically instead of restarting;
+//! - [`stream`]: bounded-memory campaign execution — samples fold into
+//!   mergeable sketches (`scibench_stats::sketch`) instead of O(n)
+//!   vectors, with bit-identical cross-thread/cross-shard merges;
 //! - [`scaling`]: strong/weak scaling declarations with explicit scaling
 //!   functions (§4.2).
 
@@ -28,6 +31,7 @@ pub mod journal;
 pub mod measurement;
 pub mod resilience;
 pub mod scaling;
+pub mod stream;
 
 pub use adaptive::{refine_levels, Refinement, RefinementConfig};
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult, CampaignRun};
@@ -42,4 +46,8 @@ pub use resilience::{
     run_campaign_resilient, run_campaign_resilient_journaled,
     run_campaign_resilient_journaled_subset, CampaignError, CampaignHealth, JournaledCampaign,
     MeasureFailure, PointFate, ResilientCampaignResult, ResilientRun, ResumeStats, RetryPolicy,
+};
+pub use stream::{
+    merge_stream_shards, run_campaign_stream, run_campaign_stream_journaled_subset,
+    run_campaign_stream_subset, run_stream, StreamCampaign, StreamOutcome, StreamResume, StreamRun,
 };

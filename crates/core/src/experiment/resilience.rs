@@ -340,6 +340,9 @@ pub enum CampaignError {
         /// Number of points in the design.
         points: usize,
     },
+    /// A streaming sketch operation failed (malformed record, mismatched
+    /// sketch configuration across merge partners).
+    Stats(scibench_stats::StatsError),
 }
 
 impl fmt::Display for CampaignError {
@@ -353,6 +356,7 @@ impl fmt::Display for CampaignError {
             CampaignError::BadPointIndex { index, points } => {
                 write!(f, "design index {index} out of range ({points} points)")
             }
+            CampaignError::Stats(err) => write!(f, "streaming sketch error: {err}"),
         }
     }
 }
@@ -362,6 +366,12 @@ impl std::error::Error for CampaignError {}
 impl From<JournalError> for CampaignError {
     fn from(err: JournalError) -> Self {
         CampaignError::Journal(err)
+    }
+}
+
+impl From<scibench_stats::StatsError> for CampaignError {
+    fn from(err: scibench_stats::StatsError) -> Self {
+        CampaignError::Stats(err)
     }
 }
 
@@ -448,6 +458,7 @@ pub fn run_campaign_resilient_scoped<S, I, F>(
     measure: F,
 ) -> Result<ResilientCampaignResult, CampaignError>
 where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
 {
@@ -467,6 +478,7 @@ pub fn run_campaign_resilient_scoped_traced<S, I, F>(
     measure: F,
 ) -> Result<ResilientCampaignResult, CampaignError>
 where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
 {
@@ -563,6 +575,7 @@ pub(crate) fn run_resilient_subset<S, I, F, B, A>(
     after: A,
 ) -> Vec<(usize, ResilientRun)>
 where
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &RunPoint, &mut SimRng) -> Result<f64, MeasureFailure> + Sync,
     B: Fn(usize) + Sync,

@@ -1,0 +1,757 @@
+//! Streaming campaign execution: bounded-memory measurement with
+//! mergeable sketches instead of O(n) sample vectors.
+//!
+//! The classic campaign runner ([`super::campaign`]) keeps every sample
+//! of every point in memory, which is the right default for the paper's
+//! n ≈ 30–10⁴ regime but breaks down for million-sample-per-point
+//! campaigns. This module replays the same §4 execution discipline —
+//! randomized run order, per-point deterministic RNG streams, warmup
+//! exclusion, fixed or CI-driven stopping — while each point folds its
+//! samples into a [`StreamingSummary`] (exact below an adaptive
+//! threshold, t-digest + moments above it; see
+//! `scibench_stats::sketch`).
+//!
+//! Determinism contract: a point's summary is built **sequentially by
+//! exactly one worker** from its own RNG stream (keyed by design index),
+//! so the summary's canonical record is a pure function of `(seed,
+//! design, plan, stream config)`. Cross-worker and cross-shard
+//! combination happens through [`KeyedPartials`] — a disjoint-key map
+//! union folded in ascending design order — so campaign totals are
+//! bit-identical at any thread count and any shard count.
+//!
+//! The journaled variant writes each point's sketch record (not its
+//! samples) into the crash-consistent journal of [`super::journal`],
+//! keeping resume state O(sketch) per point.
+
+use std::sync::Mutex;
+
+use scibench_sim::rng::SimRng;
+use scibench_stats::ci::ConfidenceInterval;
+use scibench_stats::error::{StatsError, StatsResult};
+use scibench_stats::sketch::{KeyedPartials, MergeableSummary, StreamConfig, StreamingSummary};
+use scibench_stats::{ci, summary::OnlineMoments};
+
+use crate::parallel::pool;
+
+use super::campaign::CampaignConfig;
+use super::design::{Design, RunPoint};
+use super::journal::{point_key, Journal, JournalError, JournalMeta, JournalSpec, PointRecord};
+use super::measurement::{MeasurementPlan, StoppingRule};
+use super::resilience::{CampaignError, PointFate};
+
+/// The bounded-memory result of measuring one operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Operation name (from the plan).
+    pub name: String,
+    /// Whether the adaptive stopping criterion was met (always true for
+    /// fixed-count plans).
+    pub converged: bool,
+    /// Warmup iterations executed and discarded (values are not kept —
+    /// that is the point of streaming).
+    pub warmup_seen: u64,
+    /// The streamed summary of every recorded sample.
+    pub summary: StreamingSummary,
+}
+
+impl StreamOutcome {
+    /// Recorded sample count (finite + quarantined non-finite).
+    pub fn samples_seen(&self) -> u64 {
+        self.summary.moments().count() + self.summary.moments().non_finite_count()
+    }
+}
+
+/// Runs a measurement plan in streaming mode: same warmup and stopping
+/// semantics as [`MeasurementPlan::run`], but samples fold into a
+/// [`StreamingSummary`] instead of accumulating in a vector.
+///
+/// Semantics deliberately mirror the vector path so the two modes stop
+/// after the *same number of calls* to `operation` for the same sample
+/// stream: the mean rule replans from identical Welford moments, and the
+/// median rule's CI check is bit-identical while the summary is exact
+/// (below `stream.threshold`) and rank-error-bounded after promotion.
+pub fn run_stream(
+    plan: &MeasurementPlan,
+    stream: &StreamConfig,
+    mut operation: impl FnMut() -> f64,
+) -> StatsResult<StreamOutcome> {
+    plan.validate()?;
+    let mut summary = StreamingSummary::new(*stream)?;
+    for _ in 0..plan.warmup_iterations {
+        // Warmup executes and discards (§4.1.2); nothing is recorded.
+        let _ = operation();
+    }
+
+    let mut seen = 0u64;
+    let mut push = |summary: &mut StreamingSummary, seen: &mut u64| {
+        summary.push(operation());
+        *seen += 1;
+    };
+
+    let converged = match plan.stopping {
+        StoppingRule::FixedCount(n) => {
+            for _ in 0..n {
+                push(&mut summary, &mut seen);
+            }
+            true
+        }
+        StoppingRule::AdaptiveMeanCi {
+            confidence,
+            rel_error,
+            batch,
+            max_samples,
+        } => {
+            let mut converged = false;
+            let pilot = batch.max(5);
+            for _ in 0..pilot.min(max_samples) {
+                push(&mut summary, &mut seen);
+            }
+            while (seen as usize) < max_samples {
+                let required = required_samples(summary.moments(), confidence, rel_error)?;
+                if required <= seen as usize {
+                    converged = true;
+                    break;
+                }
+                let next = required.min(max_samples).min(seen as usize + batch.max(1));
+                while (seen as usize) < next {
+                    push(&mut summary, &mut seen);
+                }
+            }
+            if !converged {
+                converged =
+                    required_samples(summary.moments(), confidence, rel_error)? <= seen as usize;
+            }
+            converged
+        }
+        StoppingRule::AdaptiveMedianCi {
+            confidence,
+            rel_error,
+            batch,
+            max_samples,
+        } => {
+            let mut converged = false;
+            let batch = batch.max(1);
+            while (seen as usize) < max_samples {
+                for _ in 0..batch.min(max_samples - seen as usize) {
+                    push(&mut summary, &mut seen);
+                }
+                if let Some((_ci, tight)) = median_stop_check(&summary, confidence, rel_error)? {
+                    if tight {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
+            converged
+        }
+    };
+
+    Ok(StreamOutcome {
+        name: plan.name.clone(),
+        converged,
+        warmup_seen: plan.warmup_iterations as u64,
+        summary,
+    })
+}
+
+/// The §4.2.2 replanning formula on streamed moments — identical to the
+/// vector path's check.
+fn required_samples(
+    moments: &OnlineMoments,
+    confidence: f64,
+    rel_error: f64,
+) -> StatsResult<usize> {
+    ci::required_samples_from_moments(moments, confidence, rel_error)
+}
+
+/// The median-CI tightness check of
+/// `ci::nonparametric_stop_check_sorted`, evaluated on the streamed
+/// summary: `None` while too few samples, otherwise the CI and whether
+/// its relative half-width is within `rel_error`.
+fn median_stop_check(
+    summary: &StreamingSummary,
+    confidence: f64,
+    rel_error: f64,
+) -> StatsResult<Option<(ConfidenceInterval, bool)>> {
+    match summary.median_ci(confidence) {
+        Ok(ci) => {
+            let tight = ci
+                .relative_half_width()
+                .map(|r| r <= rel_error)
+                .unwrap_or(false);
+            Ok(Some((ci, tight)))
+        }
+        Err(StatsError::TooFewSamples { .. }) | Err(StatsError::EmptySample) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// One streamed design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRun {
+    /// The factor levels of this run.
+    pub point: RunPoint,
+    /// The bounded-memory outcome.
+    pub outcome: StreamOutcome,
+}
+
+/// The executed streaming campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCampaign {
+    /// Executed runs, in design (full-factorial) order.
+    pub runs: Vec<StreamRun>,
+    /// The same summaries keyed by design index — the mergeable form
+    /// shards and supervisors exchange. `partials.finalize()` is the
+    /// canonical whole-campaign pool.
+    pub partials: KeyedPartials<StreamingSummary>,
+}
+
+impl StreamCampaign {
+    /// The runs whose adaptive stopping did not converge.
+    pub fn unconverged(&self) -> Vec<&RunPoint> {
+        self.runs
+            .iter()
+            .filter(|r| !r.outcome.converged)
+            .map(|r| &r.point)
+            .collect()
+    }
+}
+
+/// Executes `design` with `plan` at every point in streaming mode.
+///
+/// Execution order is randomized (§4.1.1) and points run on the
+/// work-stealing pool, but every point's RNG stream is keyed by its
+/// *design* index and its summary is built sequentially by one worker —
+/// so `partials` (and therefore every statistic derived from them) is
+/// bit-identical at any thread count.
+pub fn run_campaign_stream<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    stream: &StreamConfig,
+    config: &CampaignConfig,
+    measure: F,
+) -> StatsResult<StreamCampaign>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let all: Vec<usize> = (0..points.len()).collect();
+    let runs = stream_points(&points, &all, plan, stream, config, true, &measure)?;
+    let mut partials = KeyedPartials::new();
+    for (idx, run) in all.iter().zip(&runs) {
+        partials
+            .insert(*idx as u64, run.outcome.summary.clone())
+            .expect("design indices are unique keys");
+    }
+    Ok(StreamCampaign { runs, partials })
+}
+
+/// Executes only the design points in `indices` and returns their
+/// summaries keyed by design index — the building block a shard worker
+/// runs on its assigned partition. The union of all shards' partials is
+/// bit-identical to [`run_campaign_stream`]'s `partials` on the full
+/// design, regardless of how the points were partitioned.
+pub fn run_campaign_stream_subset<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    stream: &StreamConfig,
+    config: &CampaignConfig,
+    indices: &[usize],
+    measure: F,
+) -> Result<KeyedPartials<StreamingSummary>, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(CampaignError::EmptyDesign);
+    }
+    for &idx in indices {
+        if idx >= points.len() {
+            return Err(CampaignError::BadPointIndex {
+                index: idx,
+                points: points.len(),
+            });
+        }
+    }
+    let runs = stream_points(&points, indices, plan, stream, config, false, &measure)?;
+    let mut partials = KeyedPartials::new();
+    for (idx, run) in indices.iter().zip(&runs) {
+        partials.insert(*idx as u64, run.outcome.summary.clone())?;
+    }
+    Ok(partials)
+}
+
+/// Unions shard partials into one keyed set. The union is
+/// order-independent (disjoint design keys move bit-for-bit), so the
+/// supervisor may merge shards in any order — including as they finish.
+pub fn merge_stream_shards(
+    shards: &[KeyedPartials<StreamingSummary>],
+) -> StatsResult<KeyedPartials<StreamingSummary>> {
+    let mut total = KeyedPartials::new();
+    for shard in shards {
+        total.merge_from(shard)?;
+    }
+    Ok(total)
+}
+
+/// Resume statistics of a journaled streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamResume {
+    /// Points the subset was asked to cover.
+    pub points_total: usize,
+    /// Points whose sketch was replayed from the journal (not re-run).
+    pub points_resumed: usize,
+    /// Points actually executed this run.
+    pub points_executed: usize,
+    /// The covered points' summaries, keyed by design index.
+    pub partials: KeyedPartials<StreamingSummary>,
+}
+
+/// [`run_campaign_stream_subset`] with crash-consistent journaling:
+/// each completed point appends a [`PointRecord`] whose `sketch` field
+/// carries the summary's canonical record (no sample vector — resume
+/// state stays O(sketch) per point). On restart, journaled sketches are
+/// decoded and replayed bit-exactly instead of re-measuring.
+pub fn run_campaign_stream_journaled_subset<F>(
+    design: &Design,
+    plan: &MeasurementPlan,
+    stream: &StreamConfig,
+    config: &CampaignConfig,
+    spec: &JournalSpec<'_>,
+    indices: &[usize],
+    measure: F,
+) -> Result<StreamResume, CampaignError>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    let points = design.full_factorial();
+    if points.is_empty() {
+        return Err(CampaignError::EmptyDesign);
+    }
+    for &idx in indices {
+        if idx >= points.len() {
+            return Err(CampaignError::BadPointIndex {
+                index: idx,
+                points: points.len(),
+            });
+        }
+    }
+    let meta = JournalMeta::new(
+        design,
+        config.seed,
+        spec.code_version,
+        spec.config_fingerprint,
+    );
+    let (journal, snapshot) = Journal::open_resume(spec.path, &meta)?;
+    let keys: Vec<_> = points.iter().map(|p| point_key(&meta, p)).collect();
+
+    let mut partials = KeyedPartials::new();
+    let mut missing = Vec::new();
+    for &idx in indices {
+        // Only a record carrying a sketch counts as streaming-complete;
+        // a sample-mode record for the same key is re-measured.
+        match snapshot
+            .record_for(keys[idx])
+            .and_then(|r| r.sketch.as_deref())
+        {
+            Some(record) => partials.insert(idx as u64, StreamingSummary::from_record(record)?)?,
+            None => missing.push(idx),
+        }
+    }
+    let resume_count = indices.len() - missing.len();
+
+    let journal = Mutex::new(journal);
+    let hook_error: Mutex<Option<JournalError>> = Mutex::new(None);
+    let runs = stream_points(
+        &points,
+        &missing,
+        plan,
+        stream,
+        config,
+        false,
+        &|point, rng| measure(point, rng),
+    )?;
+    for (&idx, run) in missing.iter().zip(&runs) {
+        let record = PointRecord {
+            index: idx,
+            key: keys[idx],
+            levels: run.point.levels.clone(),
+            fate: PointFate::Completed {
+                attempts: 1,
+                samples_dropped: 0,
+            },
+            panics_contained: 0,
+            outcome: None,
+            notes: Vec::new(),
+            sketch: Some(run.outcome.summary.to_record()),
+        };
+        let mut j = journal.lock().expect("journal mutex");
+        if let Err(e) = j.append_begin(idx, keys[idx]) {
+            hook_error.lock().expect("hook mutex").get_or_insert(e);
+            break;
+        }
+        if let Err(e) = j.append_point(&record) {
+            hook_error.lock().expect("hook mutex").get_or_insert(e);
+            break;
+        }
+    }
+    if let Some(err) = hook_error.lock().expect("hook mutex").take() {
+        return Err(CampaignError::Journal(err));
+    }
+    let mut journal = journal.into_inner().expect("journal mutex");
+    journal.sync()?;
+    for (&idx, run) in missing.iter().zip(&runs) {
+        partials.insert(idx as u64, run.outcome.summary.clone())?;
+    }
+    Ok(StreamResume {
+        points_total: indices.len(),
+        points_resumed: resume_count,
+        points_executed: missing.len(),
+        partials,
+    })
+}
+
+/// Shared engine: measures `indices` (design indices) in streaming mode
+/// on the pool and returns their runs in `indices` order.
+///
+/// When `shuffle` is set the *execution* order is randomized (§4.1.1);
+/// results are un-shuffled before returning, and per-point RNG streams
+/// are keyed by design index either way, so the output never depends on
+/// the schedule. Worker lanes accumulate their finished summaries into
+/// per-lane [`KeyedPartials`] via the pool's fold primitive
+/// ([`pool::run_indexed_collect_scoped`]); the lane union is asserted
+/// against the returned runs in debug builds — the two must agree bit
+/// for bit because every key is written by exactly one lane.
+fn stream_points<F>(
+    points: &[RunPoint],
+    indices: &[usize],
+    plan: &MeasurementPlan,
+    stream: &StreamConfig,
+    config: &CampaignConfig,
+    shuffle: bool,
+    measure: &F,
+) -> StatsResult<Vec<StreamRun>>
+where
+    F: Fn(&RunPoint, &mut SimRng) -> f64 + Sync,
+{
+    if indices.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = config.threads.clamp(1, indices.len());
+    let mut order: Vec<usize> = indices.to_vec();
+    if shuffle {
+        let mut order_rng = SimRng::new(config.seed).fork("campaign-order");
+        order_rng.shuffle(&mut order);
+    }
+
+    let root = SimRng::new(config.seed);
+    let (positioned, lanes) = pool::run_indexed_collect_scoped(
+        order.len(),
+        threads,
+        None,
+        KeyedPartials::<StreamingSummary>::new,
+        |lane_partials, pos| -> StatsResult<StreamRun> {
+            let design_idx = order[pos];
+            let point = &points[design_idx];
+            let mut rng = root.fork_indexed("campaign-point", design_idx as u64);
+            let outcome = run_stream(plan, stream, || measure(point, &mut rng))?;
+            lane_partials
+                .insert(design_idx as u64, outcome.summary.clone())
+                .expect("each design index is measured once");
+            Ok(StreamRun {
+                point: point.clone(),
+                outcome,
+            })
+        },
+    );
+
+    // Un-shuffle back into `indices` order; resolve errors by lowest
+    // design index and re-raise panics after every point finished.
+    let mut by_design: Vec<Option<std::thread::Result<StatsResult<StreamRun>>>> =
+        (0..points.len()).map(|_| None).collect();
+    for (pos, result) in positioned.into_iter().enumerate() {
+        by_design[order[pos]] = Some(result);
+    }
+    let mut runs = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        match by_design[idx]
+            .take()
+            .expect("every requested point executed")
+        {
+            Ok(Ok(run)) => runs.push(run),
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    // The lane fold must reproduce the per-point results exactly: keys
+    // are disjoint across lanes, so the union is schedule-independent.
+    if cfg!(debug_assertions) {
+        let mut union = KeyedPartials::new();
+        for lane in &lanes {
+            union.merge_from(lane).expect("disjoint lane keys");
+        }
+        for (&idx, run) in indices.iter().zip(&runs) {
+            debug_assert_eq!(
+                union.get(idx as u64).map(|s| s.to_record()),
+                Some(run.outcome.summary.to_record()),
+                "lane fold diverged from per-point result at design index {idx}"
+            );
+        }
+    }
+    Ok(runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::design::Factor;
+    use scibench_stats::sketch::DEFAULT_STREAM_THRESHOLD;
+
+    fn demo_design() -> Design {
+        Design::new(vec![
+            Factor::new("system", &["a", "b"]),
+            Factor::numeric("size", &[8.0, 64.0]),
+        ])
+    }
+
+    fn demo_measure(point: &RunPoint, rng: &mut SimRng) -> f64 {
+        let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+        base + rng.uniform() * 0.01
+    }
+
+    fn fixed_plan(n: usize) -> MeasurementPlan {
+        MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(n))
+    }
+
+    #[test]
+    fn stream_matches_vector_path_in_exact_regime() {
+        // Below the threshold the streamed statistics must be
+        // bit-identical to the vector path on the same sample stream.
+        let plan = fixed_plan(200).warmup(3);
+        let mut rng = SimRng::new(42).fork("x");
+        let vector = plan.run(|| rng.uniform()).unwrap();
+        let mut rng = SimRng::new(42).fork("x");
+        let stream = run_stream(&plan, &StreamConfig::default(), || rng.uniform()).unwrap();
+        assert!(stream.summary.is_exact());
+        assert_eq!(stream.samples_seen(), 200);
+        assert_eq!(stream.warmup_seen, 3);
+        assert!(stream.converged);
+        let sorted = scibench_stats::sorted::SortedSamples::new(&vector.samples).unwrap();
+        assert_eq!(
+            stream.summary.median().unwrap().to_bits(),
+            sorted
+                .quantile(0.5, scibench_stats::quantile::QuantileMethod::Interpolated)
+                .unwrap()
+                .to_bits()
+        );
+        assert_eq!(
+            stream.summary.mean().unwrap().to_bits(),
+            vector
+                .samples
+                .iter()
+                .copied()
+                .collect::<OnlineMoments>()
+                .mean()
+                .unwrap()
+                .to_bits()
+        );
+    }
+
+    #[test]
+    fn adaptive_rules_converge_and_stop_like_the_vector_path() {
+        for stopping in [
+            StoppingRule::AdaptiveMeanCi {
+                confidence: 0.95,
+                rel_error: 0.05,
+                batch: 16,
+                max_samples: 4096,
+            },
+            StoppingRule::AdaptiveMedianCi {
+                confidence: 0.95,
+                rel_error: 0.05,
+                batch: 16,
+                max_samples: 4096,
+            },
+        ] {
+            let plan = MeasurementPlan::new("op").stopping(stopping);
+            let mut rng = SimRng::new(7).fork("adapt");
+            let vector = plan.run(|| 1.0 + rng.uniform() * 0.2).unwrap();
+            let mut rng = SimRng::new(7).fork("adapt");
+            let stream = run_stream(&plan, &StreamConfig::default(), || {
+                1.0 + rng.uniform() * 0.2
+            })
+            .unwrap();
+            assert!(vector.converged && stream.converged, "{stopping:?}");
+            // Exact regime: the stopping decision is bit-identical, so
+            // both modes consumed the same number of samples.
+            assert!(stream.summary.is_exact());
+            assert_eq!(
+                stream.samples_seen() as usize,
+                vector.samples.len(),
+                "{stopping:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn million_scale_point_stays_bounded() {
+        // One design point, 50k samples with a threshold of 1024: the
+        // summary must promote and stay O(sketch), not O(n).
+        let plan = fixed_plan(50_000);
+        let stream_cfg = StreamConfig {
+            threshold: 1024,
+            ..StreamConfig::default()
+        };
+        let mut rng = SimRng::new(3).fork("big");
+        let out = run_stream(&plan, &stream_cfg, || rng.uniform()).unwrap();
+        assert!(!out.summary.is_exact());
+        assert_eq!(out.samples_seen(), 50_000);
+        assert!(
+            out.summary.resident_bytes() < 50_000 * 8 / 10,
+            "resident {} bytes",
+            out.summary.resident_bytes()
+        );
+        let median = out.summary.median().unwrap();
+        assert!((median - 0.5).abs() < 0.02, "median {median}");
+    }
+
+    #[test]
+    fn campaign_partials_are_bit_identical_across_thread_counts() {
+        let plan = fixed_plan(500);
+        let stream_cfg = StreamConfig {
+            threshold: 128,
+            ..StreamConfig::default()
+        };
+        let baseline = run_campaign_stream(
+            &demo_design(),
+            &plan,
+            &stream_cfg,
+            &CampaignConfig {
+                seed: 11,
+                threads: 1,
+            },
+            demo_measure,
+        )
+        .unwrap();
+        assert_eq!(baseline.runs.len(), 4);
+        assert!(baseline.unconverged().is_empty());
+        let record = baseline.partials.to_record();
+        for threads in [2, 8] {
+            let par = run_campaign_stream(
+                &demo_design(),
+                &plan,
+                &stream_cfg,
+                &CampaignConfig { seed: 11, threads },
+                demo_measure,
+            )
+            .unwrap();
+            assert_eq!(par.partials.to_record(), record, "threads={threads}");
+            assert_eq!(par.runs, baseline.runs, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_union_matches_unsharded_campaign() {
+        let plan = fixed_plan(300);
+        let stream_cfg = StreamConfig {
+            threshold: 64,
+            ..StreamConfig::default()
+        };
+        let config = CampaignConfig {
+            seed: 23,
+            threads: 2,
+        };
+        let whole =
+            run_campaign_stream(&demo_design(), &plan, &stream_cfg, &config, demo_measure).unwrap();
+        for shards in [1usize, 2, 4] {
+            let parts: Vec<_> = (0..shards)
+                .map(|s| {
+                    let mine: Vec<usize> = (0..4).filter(|i| i % shards == s).collect();
+                    run_campaign_stream_subset(
+                        &demo_design(),
+                        &plan,
+                        &stream_cfg,
+                        &config,
+                        &mine,
+                        demo_measure,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let merged = merge_stream_shards(&parts).unwrap();
+            assert_eq!(
+                merged.to_record(),
+                whole.partials.to_record(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn journaled_subset_resumes_sketches_bit_exactly() {
+        let dir =
+            std::env::temp_dir().join(format!("scibench-stream-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.journal");
+        let _ = std::fs::remove_file(&path);
+        let plan = fixed_plan(400);
+        let stream_cfg = StreamConfig {
+            threshold: 64,
+            ..StreamConfig::default()
+        };
+        let config = CampaignConfig {
+            seed: 5,
+            threads: 2,
+        };
+        let spec = JournalSpec {
+            path: &path,
+            code_version: "test",
+            config_fingerprint: "stream",
+        };
+        let all = [0usize, 1, 2, 3];
+        let first = run_campaign_stream_journaled_subset(
+            &demo_design(),
+            &plan,
+            &stream_cfg,
+            &config,
+            &spec,
+            &all,
+            demo_measure,
+        )
+        .unwrap();
+        assert_eq!(first.points_executed, 4);
+        assert_eq!(first.points_resumed, 0);
+        // Second run must replay all four sketches from the journal —
+        // and a panicking measure proves nothing re-executed.
+        let second = run_campaign_stream_journaled_subset(
+            &demo_design(),
+            &plan,
+            &stream_cfg,
+            &config,
+            &spec,
+            &all,
+            |_, _| panic!("resume must not re-measure"),
+        )
+        .unwrap();
+        assert_eq!(second.points_resumed, 4);
+        assert_eq!(second.points_executed, 0);
+        assert_eq!(
+            second.partials.to_record(),
+            first.partials.to_record(),
+            "journal replay must be bit-exact"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn default_threshold_is_documented_adaptive_boundary() {
+        // The adaptive exact/sketch boundary the docs promise.
+        assert_eq!(StreamConfig::default().threshold, DEFAULT_STREAM_THRESHOLD);
+    }
+}

@@ -59,6 +59,7 @@ pub fn run_indexed_scoped<S, T, I, F>(
     task: F,
 ) -> Vec<std::thread::Result<T>>
 where
+    S: Send,
     T: Send + Sync,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
@@ -100,6 +101,34 @@ pub fn run_indexed_scoped_traced<S, T, I, F>(
     task: F,
 ) -> Vec<std::thread::Result<T>>
 where
+    S: Send,
+    T: Send + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_indexed_collect_scoped(n, threads, tracer, init, task).0
+}
+
+/// [`run_indexed_scoped_traced`] that additionally returns every worker's
+/// scratch value after the run — the pool's fold primitive.
+///
+/// Each worker accumulates into its private scratch; the caller receives
+/// one scratch per *lane* (index = lane id, length = actual worker count)
+/// and performs the cross-lane reduction itself. Because stealing moves
+/// tasks between lanes nondeterministically, a reduction is only
+/// schedule-independent when the fold is insensitive to **which** lane
+/// absorbed which task — e.g. a commutative counter, or a keyed map whose
+/// union is canonicalized downstream (`scibench_stats::sketch::KeyedPartials`).
+/// The streaming campaign runner relies on exactly that structure.
+pub fn run_indexed_collect_scoped<S, T, I, F>(
+    n: usize,
+    threads: usize,
+    tracer: Option<&Tracer>,
+    init: I,
+    task: F,
+) -> (Vec<std::thread::Result<T>>, Vec<S>)
+where
+    S: Send,
     T: Send + Sync,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
@@ -134,7 +163,7 @@ where
                 ("steals", ArgValue::U64(0)),
             ],
         );
-        return out;
+        return (out, vec![scratch]);
     }
 
     // Worker `w` owns the contiguous range `bounds[w]..bounds[w + 1]`.
@@ -142,12 +171,15 @@ where
     let cursors: Vec<AtomicUsize> = (0..threads).map(|w| AtomicUsize::new(bounds[w])).collect();
     let slots: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
     let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
+    // Scratch hand-back is once-per-worker, so a mutex is fine (cold path).
+    let scratches: Mutex<Vec<(usize, S)>> = Mutex::new(Vec::with_capacity(threads));
 
     {
         let bounds = &bounds;
         let cursors = &cursors;
         let slots = &slots;
         let panics = &panics;
+        let scratches = &scratches;
         let task = &task;
         let init = &init;
         crossbeam::thread::scope(|scope| {
@@ -208,6 +240,7 @@ where
                             ("steals", ArgValue::U64(steals)),
                         ],
                     );
+                    scratches.lock().push((w, scratch));
                 });
             }
         });
@@ -217,7 +250,7 @@ where
     for (i, payload) in panics.into_inner() {
         panic_by_index[i] = Some(payload);
     }
-    slots
+    let results = slots
         .into_iter()
         .zip(panic_by_index)
         .map(|(slot, panic)| match panic {
@@ -226,7 +259,11 @@ where
                 .into_inner()
                 .expect("every index is claimed by exactly one worker")),
         })
-        .collect()
+        .collect();
+    // Hand scratches back in lane order so callers see a stable layout.
+    let mut pairs = scratches.into_inner();
+    pairs.sort_by_key(|(w, _)| *w);
+    (results, pairs.into_iter().map(|(_, s)| s).collect())
 }
 
 #[cfg(test)]
@@ -290,6 +327,27 @@ mod tests {
             } else {
                 assert_eq!(r.unwrap(), i);
             }
+        }
+    }
+
+    #[test]
+    fn collect_returns_one_scratch_per_lane_covering_all_tasks() {
+        for threads in [1, 2, 3, 8] {
+            let (out, scratches) = run_indexed_collect_scoped(
+                50,
+                threads,
+                None,
+                Vec::new,
+                |scratch: &mut Vec<usize>, i| {
+                    scratch.push(i);
+                    i
+                },
+            );
+            assert_eq!(out.len(), 50);
+            assert_eq!(scratches.len(), threads.min(50));
+            let mut seen: Vec<usize> = scratches.into_iter().flatten().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..50).collect::<Vec<_>>(), "threads={threads}");
         }
     }
 

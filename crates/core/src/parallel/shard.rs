@@ -50,6 +50,7 @@ use crate::experiment::resilience::{
     health_of, CampaignError, PointFate, ResilientCampaignResult, ResilientRun,
 };
 use crate::experiment::{CampaignConfig, Design};
+use scibench_stats::sketch::{KeyedPartials, MergeableSummary, StreamingSummary};
 
 /// CLI flag the supervisor appends before the worker's journal path.
 pub const SHARD_JOURNAL_FLAG: &str = "--shard-journal";
@@ -531,6 +532,38 @@ pub fn supervise_shards(
     })
 }
 
+/// Collects streaming-sketch partials from the shard journals under
+/// `dir` — the supervisor-side merge for campaigns whose workers ran
+/// [`crate::experiment::stream::run_campaign_stream_journaled_subset`]
+/// on their partitions.
+///
+/// Every journaled point record carrying a `sketch` field is decoded
+/// and keyed by its design index. The cross-shard union is a disjoint
+/// key union ([`KeyedPartials::merge_from`]), so the merged set — and
+/// every statistic finalized from it — is bit-identical no matter how
+/// many shards the campaign used or in which order they finished.
+pub fn collect_stream_partials(
+    dir: &Path,
+    shards: usize,
+) -> Result<KeyedPartials<StreamingSummary>, ShardError> {
+    if shards == 0 {
+        return Err(ShardError::InvalidPolicy("shards must be >= 1"));
+    }
+    let mut total = KeyedPartials::new();
+    for s in 0..shards {
+        let snapshot = Journal::load_or_empty(&shard_journal_path(dir, s))?;
+        for record in snapshot.records.values() {
+            if let Some(sketch) = &record.sketch {
+                let summary = StreamingSummary::from_record(sketch).map_err(CampaignError::from)?;
+                total
+                    .insert(record.index as u64, summary)
+                    .map_err(CampaignError::from)?;
+            }
+        }
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -556,6 +589,60 @@ mod tests {
             Factor::new("system", &["a", "b"]),
             Factor::numeric("size", &[8.0, 64.0]),
         ])
+    }
+
+    #[test]
+    fn stream_partials_collect_across_shard_counts_bit_identically() {
+        use crate::experiment::stream::{
+            run_campaign_stream, run_campaign_stream_journaled_subset,
+        };
+        use scibench_stats::sketch::StreamConfig;
+
+        fn measure(point: &RunPoint, rng: &mut SimRng) -> f64 {
+            let base = if point.level(0) == "a" { 1.0 } else { 2.0 };
+            base + rng.uniform() * 0.01
+        }
+
+        let design = demo_design();
+        let plan = MeasurementPlan::new("op").stopping(StoppingRule::FixedCount(300));
+        let stream_cfg = StreamConfig {
+            threshold: 64,
+            ..StreamConfig::default()
+        };
+        let config = CampaignConfig {
+            seed: 17,
+            threads: 2,
+        };
+        let whole = run_campaign_stream(&design, &plan, &stream_cfg, &config, measure).unwrap();
+        for shards in [1usize, 2, 4] {
+            let dir = tmp_dir(&format!("stream-collect-{shards}"));
+            for s in 0..shards {
+                let mine = shard_assignment(4, shards, s);
+                let path = shard_journal_path(&dir, s);
+                let spec = JournalSpec {
+                    path: &path,
+                    code_version: "t",
+                    config_fingerprint: "s",
+                };
+                run_campaign_stream_journaled_subset(
+                    &design,
+                    &plan,
+                    &stream_cfg,
+                    &config,
+                    &spec,
+                    &mine,
+                    measure,
+                )
+                .unwrap();
+            }
+            let merged = collect_stream_partials(&dir, shards).unwrap();
+            assert_eq!(
+                merged.to_record(),
+                whole.partials.to_record(),
+                "shards={shards}"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     fn plan() -> MeasurementPlan {

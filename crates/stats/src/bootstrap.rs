@@ -191,7 +191,7 @@ fn bootstrap_distribution(
     for result in chunk_results {
         runs.push(result?);
     }
-    Ok(merge_sorted_runs(runs))
+    merge_sorted_runs(runs)
 }
 
 fn percentile_interval(estimate: f64, sorted_stats: &[f64], confidence: f64) -> ConfidenceInterval {

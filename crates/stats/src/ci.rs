@@ -271,6 +271,9 @@ pub fn required_samples_from_moments(
             value: rel_error,
         });
     }
+    if moments.non_finite_count() > 0 {
+        return Err(StatsError::NonFiniteSample);
+    }
     let n = moments.count() as usize;
     if n < 2 {
         return Err(StatsError::TooFewSamples {
@@ -293,6 +296,41 @@ pub fn required_samples_from_moments(
     let t = t_critical(n as f64 - 1.0, 1.0 - confidence)?;
     let required = (s * t / (rel_error * mean)).powi(2);
     Ok(required.ceil().max(2.0) as usize)
+}
+
+/// [`mean_ci`] evaluated from a streaming accumulator: O(1) per call, no
+/// sample vector required. This is the Student-t mean CI the bounded-memory
+/// streaming path reports (§3.1.2) — the moments are exact (Welford), so
+/// unlike the sketch quantiles this interval carries no sketch error.
+///
+/// Same contract as the slice variant: errors with
+/// [`StatsError::NonFiniteSample`] if the accumulator quarantined any
+/// non-finite observations, and needs at least two finite samples.
+pub fn mean_ci_from_moments(
+    moments: &OnlineMoments,
+    confidence: f64,
+) -> StatsResult<ConfidenceInterval> {
+    validate_confidence(confidence)?;
+    if moments.non_finite_count() > 0 {
+        return Err(StatsError::NonFiniteSample);
+    }
+    let n = moments.count() as usize;
+    if n < 2 {
+        return Err(StatsError::TooFewSamples {
+            required: 2,
+            actual: n,
+        });
+    }
+    let mean = moments.mean().expect("count checked above");
+    let s = moments.std_dev().expect("count checked above");
+    let t = t_critical(n as f64 - 1.0, 1.0 - confidence)?;
+    let half = t * s / (n as f64).sqrt();
+    Ok(ConfidenceInterval {
+        estimate: mean,
+        lower: mean - half,
+        upper: mean + half,
+        confidence,
+    })
 }
 
 /// Checks whether a sample already satisfies the nonparametric stopping
@@ -571,6 +609,27 @@ mod tests {
         let poisoned: OnlineMoments = [1.0, f64::NAN].iter().copied().collect();
         assert!(matches!(
             required_samples_from_moments(&poisoned, 0.95, 0.05),
+            Err(StatsError::NonFiniteSample)
+        ));
+    }
+
+    #[test]
+    fn moments_mean_ci_matches_slice_mean_ci() {
+        let xs: Vec<f64> = (0..60).map(|i| 42.0 + ((i as f64) * 0.9).cos()).collect();
+        let slice = mean_ci(&xs, 0.95).unwrap();
+        let moments: OnlineMoments = xs.iter().copied().collect();
+        let online = mean_ci_from_moments(&moments, 0.95).unwrap();
+        assert!((slice.estimate - online.estimate).abs() < 1e-12);
+        assert!((slice.lower - online.lower).abs() < 1e-10);
+        assert!((slice.upper - online.upper).abs() < 1e-10);
+        let single: OnlineMoments = [1.0].iter().copied().collect();
+        assert!(matches!(
+            mean_ci_from_moments(&single, 0.95),
+            Err(StatsError::TooFewSamples { .. })
+        ));
+        let poisoned: OnlineMoments = [1.0, 2.0, f64::NAN].iter().copied().collect();
+        assert!(matches!(
+            mean_ci_from_moments(&poisoned, 0.95),
             Err(StatsError::NonFiniteSample)
         ));
     }

@@ -29,23 +29,37 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Bin width (uniform).
+    /// Bin width (uniform). Total: returns `0.0` for a degenerate
+    /// (hand-constructed) histogram with fewer than two edges instead of
+    /// panicking.
     pub fn bin_width(&self) -> f64 {
-        self.edges[1] - self.edges[0]
+        match (self.edges.first(), self.edges.get(1)) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0.0,
+        }
     }
 
     /// Density value of bin `i` (count normalized by n·width), so the
     /// histogram integrates to 1 and is comparable with a KDE curve.
+    ///
+    /// Total: a zero-width bin or an empty histogram used to divide by
+    /// zero and report an infinite density; both now return `0.0` (no
+    /// probability mass can be attributed to a degenerate bin).
     pub fn density(&self, i: usize) -> f64 {
-        self.counts[i] as f64 / (self.n as f64 * self.bin_width())
+        let denom = self.n as f64 * self.bin_width();
+        if denom > 0.0 && denom.is_finite() {
+            self.counts[i] as f64 / denom
+        } else {
+            0.0
+        }
     }
 
-    /// Index of the fullest bin.
-    pub fn mode_bin(&self) -> usize {
-        let mut best = 0;
+    /// Index of the fullest bin; `None` when there are no bins.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
         for (i, &c) in self.counts.iter().enumerate() {
-            if c > self.counts[best] {
-                best = i;
+            if best.is_none_or(|b| c > self.counts[b]) {
+                best = Some(i);
             }
         }
         best
@@ -81,13 +95,28 @@ pub fn histogram(xs: &[f64], rule: BinRule) -> StatsResult<Histogram> {
         }
     };
 
-    // Degenerate range: single bin containing everything.
+    // Degenerate range: single bin containing everything. The pad scales
+    // with the magnitude so `min ± pad` stays distinguishable even when
+    // |min| is so large that `min - 0.5` rounds back to `min` (which used
+    // to produce a zero-width bin and infinite densities).
     let (lo, hi) = if max > min {
         (min, max)
     } else {
-        (min - 0.5, min + 0.5)
+        let pad = 0.5f64.max(min.abs() * f64::EPSILON * 8.0);
+        (min - pad, min + pad)
     };
-    let width = (hi - lo) / bins as f64;
+    let mut bins = bins;
+    let mut width = (hi - lo) / bins as f64;
+    // An edge only advances if the width is a few ULPs at this magnitude;
+    // below that, `lo + i·width` absorbs into `lo` and consecutive edges
+    // collapse into zero-width bins (infinite density). Fall back to a
+    // single bin spanning the whole sample. The same branch catches a
+    // range that overflowed f64 (width = ∞).
+    let ulp = lo.abs().max(hi.abs()) * f64::EPSILON;
+    if !(width.is_finite() && width > 4.0 * ulp) {
+        bins = 1;
+        width = (hi - lo).clamp(f64::MIN_POSITIVE, f64::MAX);
+    }
     let edges: Vec<f64> = (0..=bins).map(|i| lo + i as f64 * width).collect();
     let mut counts = vec![0u64; bins];
     for &x in xs {
@@ -147,7 +176,7 @@ mod tests {
     fn constant_data_single_bin() {
         let h = histogram(&[5.0; 20], BinRule::FreedmanDiaconis).unwrap();
         assert_eq!(h.counts.iter().sum::<u64>(), 20);
-        assert_eq!(h.mode_bin(), 0);
+        assert_eq!(h.mode_bin(), Some(0));
     }
 
     #[test]
@@ -155,7 +184,67 @@ mod tests {
         let mut xs = vec![0.1; 50];
         xs.extend(vec![0.9; 10]);
         let h = histogram(&xs, BinRule::Fixed(2)).unwrap();
-        assert_eq!(h.mode_bin(), 0);
+        assert_eq!(h.mode_bin(), Some(0));
+    }
+
+    #[test]
+    fn mode_bin_is_total_on_empty_counts() {
+        let h = Histogram {
+            edges: vec![0.0],
+            counts: Vec::new(),
+            n: 0,
+        };
+        assert_eq!(h.mode_bin(), None);
+        assert_eq!(h.bin_width(), 0.0);
+    }
+
+    #[test]
+    fn large_magnitude_constant_data_has_finite_density() {
+        // Regression: with min = 1e17 the old fixed 0.5 pad rounded away
+        // (1e17 - 0.5 == 1e17), producing a zero-width bin and an infinite
+        // density for every rule.
+        for rule in [
+            BinRule::Sturges,
+            BinRule::FreedmanDiaconis,
+            BinRule::Fixed(4),
+        ] {
+            let h = histogram(&[1e17; 12], rule).unwrap();
+            assert_eq!(h.counts.iter().sum::<u64>(), 12);
+            assert!(h.bin_width() > 0.0, "zero-width bin under {rule:?}");
+            for i in 0..h.counts.len() {
+                assert!(h.density(i).is_finite(), "infinite density under {rule:?}");
+            }
+            let integral: f64 = (0..h.counts.len())
+                .map(|i| h.density(i) * h.bin_width())
+                .sum();
+            assert!((integral - 1.0).abs() < 1e-9, "integral {integral}");
+        }
+    }
+
+    #[test]
+    fn ulp_range_with_many_bins_falls_back_to_single_bin() {
+        // A range of a few ULPs split across many bins underflows the
+        // per-bin width to zero; the builder must collapse to one bin
+        // instead of emitting zero-width edges.
+        let lo = 1.0;
+        let hi = f64::from_bits(1.0f64.to_bits() + 2);
+        let h = histogram(&[lo, hi], BinRule::Fixed(10_000)).unwrap();
+        assert!(h.bin_width() > 0.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        for i in 0..h.counts.len() {
+            assert!(h.density(i).is_finite());
+        }
+    }
+
+    #[test]
+    fn density_is_total_on_degenerate_histograms() {
+        // Hand-constructed zero-width histogram: density must not be inf.
+        let h = Histogram {
+            edges: vec![1.0, 1.0],
+            counts: vec![3],
+            n: 3,
+        };
+        assert_eq!(h.density(0), 0.0);
     }
 
     #[test]

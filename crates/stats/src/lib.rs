@@ -57,6 +57,7 @@ pub mod quantile;
 pub mod quantreg;
 pub mod rank;
 pub mod sanitize;
+pub mod sketch;
 pub mod sorted;
 pub mod special;
 pub mod summary;
@@ -82,6 +83,22 @@ pub(crate) fn sorted_copy(xs: &[f64]) -> Vec<f64> {
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("samples validated finite"));
     v
+}
+
+/// Encodes an `f64` as its 16-hex-digit IEEE-754 bit pattern — the
+/// bit-exact, NaN-safe wire form the sketch records and the journal use.
+pub(crate) fn f64_to_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Decodes a 16-hex-digit bit pattern back into an `f64`.
+pub(crate) fn f64_from_hex(s: &str) -> StatsResult<f64> {
+    if s.len() != 16 {
+        return Err(StatsError::MalformedSketch("f64 hex field length"));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| StatsError::MalformedSketch("f64 hex field digits"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,716 @@
+//! Mergeable streaming summaries for bounded-memory campaigns.
+//!
+//! The paper's Rule 6/7 reporting (nonparametric CIs, quantiles, full
+//! distributions) classically needs the entire sample resident and sorted.
+//! That caps campaigns far below the 10⁶–10⁸-sample sweeps the roadmap
+//! targets and blocks shard-level aggregation: a child process cannot ship
+//! gigabytes of raw samples to the supervisor. This module provides the
+//! sketch substrate that lifts the cap:
+//!
+//! * [`TDigest`] — a t-digest-style quantile sketch (Dunning's merging
+//!   variant, k₁ scale function). O(δ) memory, rank error that shrinks
+//!   toward the tails.
+//! * [`GridSketch`] — a fixed-grid histogram/ECDF sketch with explicit
+//!   underflow/overflow bins. Pure `u64` counter addition, so its merge is
+//!   *bit-associative and commutative* — any merge tree over the same
+//!   shards yields identical bits.
+//! * [`crate::summary::OnlineMoments`] / [`crate::summary::HigherMoments`]
+//!   — pairwise-mergeable Welford/Pébay moment accumulators (exact, not
+//!   approximate).
+//! * [`StreamingSummary`] — the adaptive front end: keeps an **exact**
+//!   buffer below [`DEFAULT_STREAM_THRESHOLD`] samples (small campaigns
+//!   lose nothing) and promotes to sketches above it.
+//! * [`KeyedPartials`] — per-design-point partials keyed by design index.
+//!   Floating-point sketch merges are *not* bit-associative, so
+//!   thread/shard-count independence is achieved structurally: workers
+//!   never co-mingle samples from different design points; the cross-shard
+//!   merge is a disjoint key union (trivially order-independent) and
+//!   [`KeyedPartials::finalize`] folds in ascending key order — a canonical
+//!   reduction whose bits cannot depend on which worker ran which point.
+//!
+//! Everything implements [`MergeableSummary`], whose `to_record` /
+//! `from_record` round-trip is **bit-exact** (IEEE-754 bit patterns in
+//! hex, NaN-safe): records survive the crash-consistent journal and shard
+//! result frames unchanged, which is what the determinism proptests
+//! assert.
+//!
+//! # Disclosure (Rules 4, 6, 7)
+//!
+//! Sketch-mode quantiles carry rank error bounded by the t-digest
+//! compression parameter (empirically ≲ 1/δ interior, tighter in the
+//! tails); means/variances remain exact because the Welford accumulator is
+//! not an approximation. Reports produced from sketches must say so — the
+//! streaming campaign runner records the summary mode alongside the
+//! estimates so the error source is disclosed, not silently absorbed.
+
+mod grid;
+mod moments;
+mod partials;
+mod tdigest;
+
+pub use grid::{GridSketch, GridSpec};
+pub use partials::KeyedPartials;
+pub use tdigest::TDigest;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ci::{quantile_ci_ranks, ConfidenceInterval};
+use crate::error::{StatsError, StatsResult};
+use crate::quantile::{quantile_sorted, FiveNumberSummary, QuantileMethod};
+use crate::sorted::SortedSamples;
+use crate::summary::OnlineMoments;
+use crate::{f64_from_hex, f64_to_hex};
+
+/// Number of samples below which [`StreamingSummary`] stays exact.
+///
+/// 4096 f64s is 32 KiB — trivially resident — while the switch keeps the
+/// worst-case footprint O(δ) no matter how many samples follow. Campaigns
+/// that never cross the threshold report *exactly* what the classical
+/// `SortedSamples` path reports.
+pub const DEFAULT_STREAM_THRESHOLD: usize = 4096;
+
+/// Default t-digest compression parameter δ (number of k-units).
+pub const DEFAULT_DIGEST_DELTA: u32 = 200;
+
+/// Everything a streaming summary can be queried for, and how partials
+/// combine. Implemented by the moment accumulators, both sketches, and
+/// the adaptive [`StreamingSummary`] front end.
+pub trait MergeableSummary: Sized {
+    /// Feeds one observation. Non-finite values are quarantined in
+    /// [`MergeableSummary::non_finite_count`], never folded into the
+    /// statistics (the same contract `OnlineMoments::push` now has).
+    fn push(&mut self, x: f64);
+
+    /// Merges another partial into this one. Errors with
+    /// [`StatsError::MismatchedSketch`] when the two partials were built
+    /// with incompatible configurations (different grid, δ or threshold).
+    fn merge_from(&mut self, other: &Self) -> StatsResult<()>;
+
+    /// Number of finite observations absorbed so far.
+    fn count(&self) -> u64;
+
+    /// Number of quarantined non-finite observations.
+    fn non_finite_count(&self) -> u64;
+
+    /// Canonical, bit-exact, single-line text record of the summary.
+    ///
+    /// The encoding uses IEEE-754 bit patterns for every float, so NaN
+    /// payloads and signed zeros survive, and the record of a summary is a
+    /// pure function of the *multiset* of observations it absorbed (order
+    /// of insertion never leaks into the record).
+    fn to_record(&self) -> String;
+
+    /// Decodes a record produced by [`MergeableSummary::to_record`].
+    fn from_record(record: &str) -> StatsResult<Self>;
+}
+
+pub(crate) fn parse_u64(s: &str) -> StatsResult<u64> {
+    s.parse()
+        .map_err(|_| StatsError::MalformedSketch("integer field"))
+}
+
+pub(crate) fn parse_usize(s: &str) -> StatsResult<usize> {
+    s.parse()
+        .map_err(|_| StatsError::MalformedSketch("integer field"))
+}
+
+/// Configuration of a [`StreamingSummary`].
+///
+/// Two summaries merge only if their configurations are **bit-identical**
+/// — campaign code constructs one `StreamConfig` and hands copies to every
+/// worker, which is also what makes the merged result independent of the
+/// thread/shard layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Exact-to-sketch switchover point (number of finite samples).
+    pub threshold: usize,
+    /// t-digest compression parameter δ.
+    pub digest_delta: u32,
+    /// Optional shared ECDF grid. `None` keeps digest + moments only.
+    pub grid: Option<GridSpec>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            threshold: DEFAULT_STREAM_THRESHOLD,
+            digest_delta: DEFAULT_DIGEST_DELTA,
+            grid: None,
+        }
+    }
+}
+
+/// Whether a [`StreamingSummary`] is still exact or has switched to
+/// sketches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Repr {
+    /// Below the threshold: every finite sample, in insertion order.
+    Exact(Vec<f64>),
+    /// Above the threshold: t-digest over all finite samples so far.
+    Digest(TDigest),
+}
+
+/// Adaptive bounded-memory summary: exact below
+/// [`StreamConfig::threshold`], sketch-backed above it.
+///
+/// The moment accumulator is always exact (Welford is streaming already);
+/// only order statistics degrade to sketch precision after the switch.
+/// [`StreamingSummary::is_exact`] discloses which regime produced the
+/// numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSummary {
+    threshold: usize,
+    digest_delta: u32,
+    moments: OnlineMoments,
+    repr: Repr,
+    grid: Option<GridSketch>,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary with the given configuration.
+    pub fn new(config: StreamConfig) -> StatsResult<Self> {
+        if config.threshold == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "threshold",
+                value: 0.0,
+            });
+        }
+        // Probe-construct a digest so an invalid δ fails here, at
+        // configuration time, not at the promotion deep inside a worker.
+        TDigest::new(config.digest_delta)?;
+        let grid = config.grid.map(GridSketch::new).transpose()?;
+        Ok(Self {
+            threshold: config.threshold,
+            digest_delta: config.digest_delta,
+            moments: OnlineMoments::new(),
+            repr: Repr::Exact(Vec::new()),
+            grid,
+        })
+    }
+
+    /// The exact-to-sketch switchover threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// `true` while every order statistic is computed from the full
+    /// sample; `false` once quantiles come from the t-digest.
+    pub fn is_exact(&self) -> bool {
+        matches!(self.repr, Repr::Exact(_))
+    }
+
+    /// Short label of the active regime, for reports and disclosure.
+    pub fn mode_label(&self) -> &'static str {
+        if self.is_exact() {
+            "exact"
+        } else {
+            "sketch"
+        }
+    }
+
+    /// The exact Welford moment accumulator (never approximated).
+    pub fn moments(&self) -> &OnlineMoments {
+        &self.moments
+    }
+
+    /// The shared-grid ECDF sketch, when configured.
+    pub fn grid(&self) -> Option<&GridSketch> {
+        self.grid.as_ref()
+    }
+
+    /// Mean of the finite observations; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        self.moments.mean()
+    }
+
+    /// Sample standard deviation; `None` below two observations.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.moments.std_dev()
+    }
+
+    /// Smallest finite observation; `None` when empty. Exact in both
+    /// regimes (the digest tracks true extrema).
+    pub fn min(&self) -> Option<f64> {
+        self.moments.min()
+    }
+
+    /// Largest finite observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.moments.max()
+    }
+
+    /// The `p`-quantile: exact below the threshold, t-digest above it.
+    pub fn quantile(&self, p: f64) -> StatsResult<f64> {
+        match &self.repr {
+            Repr::Exact(values) => {
+                if values.is_empty() {
+                    return Err(StatsError::EmptySample);
+                }
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(StatsError::InvalidProbability {
+                        name: "p",
+                        value: p,
+                    });
+                }
+                Ok(quantile_sorted(
+                    &crate::sorted_copy(values),
+                    p,
+                    QuantileMethod::Interpolated,
+                ))
+            }
+            Repr::Digest(d) => d.quantile(p),
+        }
+    }
+
+    /// Median; same regimes as [`StreamingSummary::quantile`].
+    pub fn median(&self) -> StatsResult<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Min / quartiles / max. Extrema are exact in both regimes.
+    pub fn five_number(&self) -> StatsResult<FiveNumberSummary> {
+        Ok(FiveNumberSummary {
+            min: self.min().ok_or(StatsError::EmptySample)?,
+            q1: self.quantile(0.25)?,
+            median: self.quantile(0.5)?,
+            q3: self.quantile(0.75)?,
+            max: self.max().ok_or(StatsError::EmptySample)?,
+        })
+    }
+
+    /// Nonparametric `1−α` CI of the `p`-quantile.
+    ///
+    /// Below the threshold this is the classical Le Boudec order-statistic
+    /// interval, bit-identical to [`SortedSamples::quantile_ci`]. Above it
+    /// the rank bounds are still computed exactly, but the order statistics
+    /// at those ranks are read from the t-digest — the interval inherits
+    /// the sketch's rank error and must be disclosed as approximate
+    /// (check [`StreamingSummary::is_exact`]).
+    pub fn quantile_ci(&self, p: f64, confidence: f64) -> StatsResult<ConfidenceInterval> {
+        match &self.repr {
+            Repr::Exact(values) => {
+                let sorted = SortedSamples::new(values)?;
+                sorted.quantile_ci(p, confidence)
+            }
+            Repr::Digest(d) => {
+                let n = self.moments.count() as usize;
+                let ranks = quantile_ci_ranks(n, p, confidence)?;
+                // Rank r (1-based) sits at empirical probability
+                // (r − 0.5)/n; read the sketch's order statistics there.
+                let nf = n as f64;
+                Ok(ConfidenceInterval {
+                    estimate: d.quantile(p)?,
+                    lower: d.quantile((ranks.lower as f64 - 0.5) / nf)?,
+                    upper: d.quantile((ranks.upper as f64 - 0.5) / nf)?,
+                    confidence,
+                })
+            }
+        }
+    }
+
+    /// Nonparametric `1−α` CI of the median; see
+    /// [`StreamingSummary::quantile_ci`].
+    pub fn median_ci(&self, confidence: f64) -> StatsResult<ConfidenceInterval> {
+        self.quantile_ci(0.5, confidence)
+    }
+
+    /// Estimated resident size in bytes — the number the memory-vs-n table
+    /// in EXPERIMENTS.md reports. O(n) while exact, O(δ + grid bins) after
+    /// the switch.
+    pub fn resident_bytes(&self) -> usize {
+        let repr = match &self.repr {
+            Repr::Exact(v) => v.capacity() * 8,
+            Repr::Digest(d) => d.resident_bytes(),
+        };
+        let grid = self.grid.as_ref().map(|g| g.resident_bytes()).unwrap_or(0);
+        repr + grid + std::mem::size_of::<Self>()
+    }
+
+    /// Converts the exact buffer into a t-digest. The buffer is sorted
+    /// first so the resulting digest is a pure function of the multiset of
+    /// samples — insertion order never changes the promoted sketch's bits.
+    fn promote(&mut self) -> StatsResult<()> {
+        if let Repr::Exact(values) = &self.repr {
+            let mut digest = TDigest::new(self.digest_delta)?;
+            for &x in &crate::sorted_copy(values) {
+                digest.push(x);
+            }
+            self.repr = Repr::Digest(digest);
+        }
+        Ok(())
+    }
+}
+
+impl MergeableSummary for StreamingSummary {
+    fn push(&mut self, x: f64) {
+        self.moments.push(x);
+        if let Some(g) = &mut self.grid {
+            g.push(x);
+        }
+        if !x.is_finite() {
+            return;
+        }
+        let over = match &mut self.repr {
+            Repr::Exact(values) => {
+                values.push(x);
+                values.len() > self.threshold
+            }
+            Repr::Digest(d) => {
+                d.push(x);
+                false
+            }
+        };
+        if over {
+            self.promote().expect("validated at construction");
+        }
+    }
+
+    fn merge_from(&mut self, other: &Self) -> StatsResult<()> {
+        if self.threshold != other.threshold {
+            return Err(StatsError::MismatchedSketch("stream threshold differs"));
+        }
+        if self.digest_delta != other.digest_delta {
+            return Err(StatsError::MismatchedSketch("digest delta differs"));
+        }
+        match (&mut self.grid, &other.grid) {
+            (None, None) => {}
+            (Some(g), Some(og)) => g.merge_from(og)?,
+            _ => return Err(StatsError::MismatchedSketch("grid presence differs")),
+        }
+        self.moments.merge(&other.moments);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Exact(a), Repr::Exact(b)) => {
+                a.extend_from_slice(b);
+                if a.len() > self.threshold {
+                    self.promote()?;
+                }
+            }
+            (Repr::Exact(_), Repr::Digest(od)) => {
+                self.promote()?;
+                if let Repr::Digest(d) = &mut self.repr {
+                    d.merge_from(od)?;
+                }
+            }
+            (Repr::Digest(d), Repr::Exact(b)) => {
+                d.merge_sorted_values(&crate::sorted_copy(b));
+            }
+            (Repr::Digest(d), Repr::Digest(od)) => d.merge_from(od)?,
+        }
+        Ok(())
+    }
+
+    fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    fn non_finite_count(&self) -> u64 {
+        self.moments.non_finite_count()
+    }
+
+    fn to_record(&self) -> String {
+        let grid = match &self.grid {
+            Some(g) => g.to_record(),
+            None => "-".to_string(),
+        };
+        let repr = match &self.repr {
+            Repr::Exact(values) => {
+                let sorted = crate::sorted_copy(values);
+                let vals: Vec<String> = sorted.iter().map(|&x| f64_to_hex(x)).collect();
+                format!("exact:{}", vals.join(","))
+            }
+            Repr::Digest(d) => format!("digest:{}", d.to_record()),
+        };
+        format!(
+            "ss1|thr={}|delta={}|mom={}|grid={}|repr={}",
+            self.threshold,
+            self.digest_delta,
+            self.moments.to_record(),
+            grid,
+            repr
+        )
+    }
+
+    fn from_record(record: &str) -> StatsResult<Self> {
+        let mut parts = record.split('|');
+        if parts.next() != Some("ss1") {
+            return Err(StatsError::MalformedSketch("expected ss1 tag"));
+        }
+        let mut threshold = None;
+        let mut delta = None;
+        let mut moments = None;
+        let mut grid = None;
+        let mut repr = None;
+        for part in parts {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or(StatsError::MalformedSketch("missing '=' in ss1 field"))?;
+            match key {
+                "thr" => threshold = Some(parse_usize(value)?),
+                "delta" => delta = Some(parse_u64(value)? as u32),
+                "mom" => moments = Some(OnlineMoments::from_record(value)?),
+                "grid" => {
+                    grid = Some(if value == "-" {
+                        None
+                    } else {
+                        Some(GridSketch::from_record(value)?)
+                    })
+                }
+                "repr" => {
+                    let (kind, body) = value
+                        .split_once(':')
+                        .ok_or(StatsError::MalformedSketch("missing repr kind"))?;
+                    repr = Some(match kind {
+                        "exact" => {
+                            let mut values = Vec::new();
+                            if !body.is_empty() {
+                                for v in body.split(',') {
+                                    values.push(f64_from_hex(v)?);
+                                }
+                            }
+                            Repr::Exact(values)
+                        }
+                        "digest" => Repr::Digest(TDigest::from_record(body)?),
+                        _ => return Err(StatsError::MalformedSketch("unknown repr kind")),
+                    });
+                }
+                _ => return Err(StatsError::MalformedSketch("unknown ss1 field")),
+            }
+        }
+        let threshold = threshold.ok_or(StatsError::MalformedSketch("missing thr"))?;
+        let digest_delta = delta.ok_or(StatsError::MalformedSketch("missing delta"))?;
+        if threshold == 0 {
+            return Err(StatsError::MalformedSketch("zero threshold"));
+        }
+        Ok(Self {
+            threshold,
+            digest_delta,
+            moments: moments.ok_or(StatsError::MalformedSketch("missing mom"))?,
+            repr: repr.ok_or(StatsError::MalformedSketch("missing repr"))?,
+            grid: grid.ok_or(StatsError::MalformedSketch("missing grid"))?,
+        })
+    }
+}
+
+/// Bit-exact records on the exact Welford accumulator, so it can ride
+/// through journals and shard frames like the sketches do.
+impl MergeableSummary for OnlineMoments {
+    fn push(&mut self, x: f64) {
+        OnlineMoments::push(self, x);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> StatsResult<()> {
+        self.merge(other);
+        Ok(())
+    }
+
+    fn count(&self) -> u64 {
+        OnlineMoments::count(self)
+    }
+
+    fn non_finite_count(&self) -> u64 {
+        OnlineMoments::non_finite_count(self)
+    }
+
+    fn to_record(&self) -> String {
+        moments::online_moments_to_record(self)
+    }
+
+    fn from_record(record: &str) -> StatsResult<Self> {
+        moments::online_moments_from_record(record)
+    }
+}
+
+impl MergeableSummary for crate::summary::HigherMoments {
+    fn push(&mut self, x: f64) {
+        crate::summary::HigherMoments::push(self, x);
+    }
+
+    fn merge_from(&mut self, other: &Self) -> StatsResult<()> {
+        self.merge(other);
+        Ok(())
+    }
+
+    fn count(&self) -> u64 {
+        crate::summary::HigherMoments::count(self)
+    }
+
+    fn non_finite_count(&self) -> u64 {
+        crate::summary::HigherMoments::non_finite_count(self)
+    }
+
+    fn to_record(&self) -> String {
+        moments::higher_moments_to_record(self)
+    }
+
+    fn from_record(record: &str) -> StatsResult<Self> {
+        moments::higher_moments_from_record(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: usize) -> StreamConfig {
+        StreamConfig {
+            threshold,
+            ..StreamConfig::default()
+        }
+    }
+
+    fn filled(config: StreamConfig, xs: &[f64]) -> StreamingSummary {
+        let mut s = StreamingSummary::new(config).unwrap();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Low-discrepancy heavy-tailed values (deterministic, no RNG).
+    fn pareto_like(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = ((i as f64 + 0.5) * 0.618_033_988_749_894_9).fract();
+                (1.0 - u).powf(-0.7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_regime_matches_sorted_samples_bitwise() {
+        let xs = pareto_like(500);
+        let s = filled(cfg(4096), &xs);
+        assert!(s.is_exact());
+        assert_eq!(s.mode_label(), "exact");
+        let sorted = SortedSamples::new(&xs).unwrap();
+        for p in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                s.quantile(p).unwrap().to_bits(),
+                sorted
+                    .quantile(p, QuantileMethod::Interpolated)
+                    .unwrap()
+                    .to_bits(),
+                "p={p}"
+            );
+        }
+        let ci = s.median_ci(0.95).unwrap();
+        let exact_ci = sorted.median_ci(0.95).unwrap();
+        assert_eq!(ci.lower.to_bits(), exact_ci.lower.to_bits());
+        assert_eq!(ci.upper.to_bits(), exact_ci.upper.to_bits());
+    }
+
+    #[test]
+    fn promotion_keeps_quantiles_within_rank_error() {
+        let n = 40_000;
+        let xs = pareto_like(n);
+        let s = filled(cfg(1024), &xs);
+        assert!(!s.is_exact());
+        assert_eq!(s.count(), n as u64);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.05, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            let est = s.quantile(p).unwrap();
+            // Rank error: where does the estimate fall in the exact ECDF?
+            let rank = sorted.partition_point(|&v| v <= est) as f64 / n as f64;
+            assert!(
+                (rank - p).abs() <= 0.01,
+                "p={p}: estimate {est} has rank {rank}"
+            );
+        }
+        // Extrema and moments stay exact through promotion.
+        assert_eq!(s.min().unwrap().to_bits(), sorted[0].to_bits());
+        assert_eq!(s.max().unwrap().to_bits(), sorted[n - 1].to_bits());
+        assert!(s.resident_bytes() < n * 8 / 4, "{}", s.resident_bytes());
+    }
+
+    #[test]
+    fn merge_combinations_agree_on_the_multiset() {
+        let xs = pareto_like(6_000);
+        let single = filled(cfg(1000), &xs);
+        // exact+exact (stays exact), exact+exact (promotes),
+        // digest+exact, exact+digest, digest+digest.
+        let splits = [(300, "ee"), (2_000, "de"), (5_500, "ed")];
+        for (cut, label) in splits {
+            let mut a = filled(cfg(1000), &xs[..cut]);
+            let b = filled(cfg(1000), &xs[cut..]);
+            a.merge_from(&b).unwrap();
+            assert_eq!(a.count(), single.count(), "{label}");
+            // A pairwise merge is deterministic but not bit-identical to
+            // the sequential fold (that is the whole reason KeyedPartials
+            // canonicalizes the merge order); it is however the same to
+            // floating-point accuracy.
+            let (am, sm) = (a.mean().unwrap(), single.mean().unwrap());
+            assert!((am - sm).abs() / sm < 1e-12, "{label}: {am} vs {sm}");
+            // Repeating the identical merge is bit-reproducible.
+            let mut a2 = filled(cfg(1000), &xs[..cut]);
+            a2.merge_from(&b).unwrap();
+            assert_eq!(a2.to_record(), a.to_record(), "{label}");
+            let med = a.median().unwrap();
+            let exact = single.median().unwrap();
+            assert!(
+                (med - exact).abs() / exact < 0.05,
+                "{label}: {med} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_config_round_trips_and_gates_merges() {
+        let spec = GridSpec {
+            lo: 0.0,
+            hi: 10.0,
+            bins: 64,
+        };
+        let config = StreamConfig {
+            grid: Some(spec),
+            ..StreamConfig::default()
+        };
+        let s = filled(config, &[1.0, 2.5, 11.0, f64::NAN]);
+        assert_eq!(s.grid().unwrap().overflow(), 1);
+        let back = StreamingSummary::from_record(&s.to_record()).unwrap();
+        assert_eq!(back.to_record(), s.to_record());
+        let mut plain = filled(cfg(4096), &[1.0]);
+        assert!(matches!(
+            plain.merge_from(&s),
+            Err(StatsError::MismatchedSketch(_))
+        ));
+    }
+
+    #[test]
+    fn record_is_a_pure_function_of_the_multiset() {
+        let mut fwd = StreamingSummary::new(cfg(4096)).unwrap();
+        let mut rev = StreamingSummary::new(cfg(4096)).unwrap();
+        let xs = [3.0, 1.0, f64::NAN, 2.0, -0.0];
+        for &x in &xs {
+            fwd.push(x);
+        }
+        for &x in xs.iter().rev() {
+            rev.push(x);
+        }
+        assert_eq!(fwd.to_record(), rev.to_record());
+        assert_eq!(fwd.non_finite_count(), 1);
+        let back = StreamingSummary::from_record(&fwd.to_record()).unwrap();
+        assert_eq!(back.to_record(), fwd.to_record());
+        assert!(StreamingSummary::from_record("ss1|thr=0").is_err());
+        assert!(StreamingSummary::from_record("nope").is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected_at_construction() {
+        assert!(StreamingSummary::new(cfg(0)).is_err());
+        assert!(StreamingSummary::new(StreamConfig {
+            digest_delta: 3,
+            ..StreamConfig::default()
+        })
+        .is_err());
+        assert!(StreamingSummary::new(StreamConfig {
+            grid: Some(GridSpec {
+                lo: 1.0,
+                hi: 1.0,
+                bins: 4
+            }),
+            ..StreamConfig::default()
+        })
+        .is_err());
+    }
+}

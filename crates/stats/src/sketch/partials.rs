@@ -1,0 +1,229 @@
+//! Keyed per-design-point partials with an order-independent union and a
+//! canonical fold.
+//!
+//! Floating-point sketch merges are deterministic but **not**
+//! bit-associative: `(a ⊕ b) ⊕ c` and `a ⊕ (b ⊕ c)` can differ in the last
+//! ulp. A campaign that merged whatever its workers produced, in whatever
+//! order the scheduler ran them, would therefore report different bits at
+//! different thread counts. `KeyedPartials` removes the schedule from the
+//! algebra:
+//!
+//! 1. every sample stream gets a stable key (the design-point index), and
+//!    exactly one worker builds each keyed summary sequentially;
+//! 2. cross-worker/cross-shard combination is a **disjoint map union** —
+//!    trivially associative and commutative, so any merge tree over the
+//!    same shards yields the identical map;
+//! 3. [`KeyedPartials::finalize`] folds the map in ascending key order —
+//!    a canonical reduction whose result cannot depend on thread or shard
+//!    count.
+//!
+//! Overlapping keys (a shard resumed and re-summarized a point) merge via
+//! the summary's own `merge_from`, which keeps the union lossless but is
+//! only schedule-independent when each key is produced by one writer —
+//! the contract the campaign runner upholds.
+
+use std::collections::BTreeMap;
+
+use crate::error::{StatsError, StatsResult};
+
+use super::MergeableSummary;
+
+/// A set of mergeable summaries keyed by `u64` (design-point index).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KeyedPartials<S> {
+    parts: BTreeMap<u64, S>,
+}
+
+impl<S: MergeableSummary + Clone> KeyedPartials<S> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            parts: BTreeMap::new(),
+        }
+    }
+
+    /// Number of keyed partials.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// The partial for `key`, if present.
+    pub fn get(&self, key: u64) -> Option<&S> {
+        self.parts.get(&key)
+    }
+
+    /// Ascending iterator over `(key, summary)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &S)> {
+        self.parts.iter().map(|(k, s)| (*k, s))
+    }
+
+    /// Inserts a partial. A duplicate key merges into the existing
+    /// summary via [`MergeableSummary::merge_from`].
+    pub fn insert(&mut self, key: u64, summary: S) -> StatsResult<()> {
+        match self.parts.get_mut(&key) {
+            Some(existing) => existing.merge_from(&summary),
+            None => {
+                self.parts.insert(key, summary);
+                Ok(())
+            }
+        }
+    }
+
+    /// Unions another set into this one. Disjoint keys move over
+    /// unchanged (bit-preserving); overlapping keys merge.
+    pub fn merge_from(&mut self, other: &Self) -> StatsResult<()> {
+        for (key, summary) in &other.parts {
+            self.insert(*key, summary.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Canonically folds all partials in ascending key order into one
+    /// summary — the thread/shard-count-independent campaign total.
+    /// `None` when the set is empty.
+    pub fn finalize(&self) -> StatsResult<Option<S>> {
+        let mut iter = self.parts.values();
+        let Some(first) = iter.next() else {
+            return Ok(None);
+        };
+        let mut acc = first.clone();
+        for s in iter {
+            acc.merge_from(s)?;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Total finite observations across all partials.
+    pub fn count(&self) -> u64 {
+        self.parts.values().map(|s| s.count()).sum()
+    }
+
+    /// Total quarantined non-finite observations across all partials.
+    pub fn non_finite_count(&self) -> u64 {
+        self.parts.values().map(|s| s.non_finite_count()).sum()
+    }
+
+    /// Canonical record: `kp1` followed by one `key=record` section per
+    /// partial in ascending key order, separated by `#`.
+    pub fn to_record(&self) -> String {
+        let mut out = String::from("kp1");
+        for (key, summary) in &self.parts {
+            out.push('#');
+            out.push_str(&key.to_string());
+            out.push('=');
+            out.push_str(&summary.to_record());
+        }
+        out
+    }
+
+    /// Decodes a record produced by [`KeyedPartials::to_record`].
+    pub fn from_record(record: &str) -> StatsResult<Self> {
+        let mut sections = record.split('#');
+        if sections.next() != Some("kp1") {
+            return Err(StatsError::MalformedSketch("expected kp1 tag"));
+        }
+        let mut parts = BTreeMap::new();
+        for section in sections {
+            let (key, body) = section
+                .split_once('=')
+                .ok_or(StatsError::MalformedSketch("missing '=' in kp1 section"))?;
+            let key = super::parse_u64(key)?;
+            if parts.insert(key, S::from_record(body)?).is_some() {
+                return Err(StatsError::MalformedSketch("duplicate key in kp1"));
+            }
+        }
+        Ok(Self { parts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{MergeableSummary, StreamConfig, StreamingSummary};
+    use super::*;
+    use crate::summary::OnlineMoments;
+
+    fn summary_of(xs: &[f64]) -> StreamingSummary {
+        let mut s = StreamingSummary::new(StreamConfig {
+            threshold: 16,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    #[test]
+    fn union_is_order_independent_bitwise() {
+        let a = summary_of(&(0..40).map(|i| i as f64).collect::<Vec<_>>());
+        let b = summary_of(&(0..10).map(|i| 100.0 + i as f64).collect::<Vec<_>>());
+        let c = summary_of(&(0..25).map(|i| (i as f64).sqrt()).collect::<Vec<_>>());
+        let mut left: KeyedPartials<StreamingSummary> = KeyedPartials::new();
+        left.insert(0, a.clone()).unwrap();
+        left.insert(1, b.clone()).unwrap();
+        let mut right = KeyedPartials::new();
+        right.insert(2, c.clone()).unwrap();
+        // (left ∪ right) vs (right ∪ left): identical records.
+        let mut lr = left.clone();
+        lr.merge_from(&right).unwrap();
+        let mut rl = right.clone();
+        rl.merge_from(&left).unwrap();
+        assert_eq!(lr, rl);
+        assert_eq!(lr.to_record(), rl.to_record());
+        // Finalize folds ascending regardless of union order.
+        let f1 = lr.finalize().unwrap().unwrap();
+        let f2 = rl.finalize().unwrap().unwrap();
+        assert_eq!(f1.to_record(), f2.to_record());
+        assert_eq!(lr.count(), 75);
+    }
+
+    #[test]
+    fn duplicate_keys_merge_losslessly() {
+        let mut p: KeyedPartials<OnlineMoments> = KeyedPartials::new();
+        p.insert(7, [1.0, 2.0].iter().copied().collect()).unwrap();
+        p.insert(7, [3.0].iter().copied().collect()).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(7).unwrap().count(), 3);
+        assert_eq!(p.get(7).unwrap().mean(), Some(2.0));
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let mut p: KeyedPartials<StreamingSummary> = KeyedPartials::new();
+        p.insert(3, summary_of(&[1.0, f64::NAN, 5.0])).unwrap();
+        p.insert(
+            11,
+            summary_of(&(0..50).map(|i| i as f64).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let record = p.to_record();
+        let back: KeyedPartials<StreamingSummary> = KeyedPartials::from_record(&record).unwrap();
+        assert_eq!(back.to_record(), record);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.non_finite_count(), 1);
+        let empty: KeyedPartials<StreamingSummary> = KeyedPartials::new();
+        let back: KeyedPartials<StreamingSummary> =
+            KeyedPartials::from_record(&empty.to_record()).unwrap();
+        assert!(back.is_empty());
+        assert!(back.finalize().unwrap().is_none());
+        assert!(KeyedPartials::<StreamingSummary>::from_record("nope").is_err());
+    }
+
+    #[test]
+    fn mismatched_configs_fail_union() {
+        let mut p: KeyedPartials<StreamingSummary> = KeyedPartials::new();
+        p.insert(0, summary_of(&[1.0])).unwrap();
+        let other = StreamingSummary::new(StreamConfig {
+            threshold: 99,
+            ..StreamConfig::default()
+        })
+        .unwrap();
+        assert!(p.insert(0, other).is_err());
+    }
+}

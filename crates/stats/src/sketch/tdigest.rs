@@ -1,0 +1,424 @@
+//! A merging t-digest quantile sketch (Dunning & Ertl).
+//!
+//! Centroids are kept sorted by mean; incoming samples buffer and are
+//! periodically folded in by a single merge pass bounded by the k₁ scale
+//! function `k(q) = δ·(asin(2q−1)/π + 1/2)`, which keeps centroids small
+//! near the tails (accurate extreme quantiles — exactly where latency
+//! distributions matter) and large in the middle. Memory is O(δ)
+//! regardless of how many samples stream through.
+//!
+//! Every operation is a pure function of the current state, so a digest
+//! built from the same sequence of pushes has identical bits on every
+//! thread/shard — the property the campaign-level determinism rests on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StatsError, StatsResult};
+use crate::{f64_from_hex, f64_to_hex};
+
+use super::{parse_u64, MergeableSummary};
+
+/// One weighted cluster of nearby samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// Mergeable streaming quantile sketch; see the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TDigest {
+    delta: u32,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    n: u64,
+    non_finite: u64,
+    min: f64,
+    max: f64,
+}
+
+/// Buffered samples per compression pass, as a multiple of δ. Larger
+/// buffers amortize the O(m log m) merge over more pushes.
+const BUFFER_FACTOR: usize = 8;
+
+fn k_scale(q: f64, delta: f64) -> f64 {
+    delta * ((2.0 * q - 1.0).clamp(-1.0, 1.0).asin() / std::f64::consts::PI + 0.5)
+}
+
+impl TDigest {
+    /// Creates an empty digest with compression parameter `delta`
+    /// (10 ≤ δ ≤ 10 000; ~100–500 is typical, larger is more accurate).
+    pub fn new(delta: u32) -> StatsResult<Self> {
+        if !(10..=10_000).contains(&delta) {
+            return Err(StatsError::InvalidParameter {
+                name: "delta",
+                value: delta as f64,
+            });
+        }
+        Ok(Self {
+            delta,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            n: 0,
+            non_finite: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// The compression parameter δ.
+    pub fn delta(&self) -> u32 {
+        self.delta
+    }
+
+    /// Exact smallest finite observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Exact largest finite observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Number of centroids currently held (after an internal flush the
+    /// count is bounded by ~2δ).
+    pub fn centroid_count(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Estimated resident bytes: centroid list + buffer.
+    pub fn resident_bytes(&self) -> usize {
+        self.centroids.capacity() * std::mem::size_of::<Centroid>()
+            + self.buffer.capacity() * 8
+            + std::mem::size_of::<Self>()
+    }
+
+    fn buffer_capacity(&self) -> usize {
+        BUFFER_FACTOR * self.delta as usize
+    }
+
+    /// Folds the buffer (and any extra centroids) into the centroid list
+    /// with one bounded merge pass.
+    fn compress_with(&mut self, extra: Vec<Centroid>) {
+        let mut pending: Vec<Centroid> =
+            Vec::with_capacity(self.centroids.len() + self.buffer.len() + extra.len());
+        pending.append(&mut self.centroids);
+        pending.extend(self.buffer.drain(..).map(|x| Centroid {
+            mean: x,
+            weight: 1.0,
+        }));
+        pending.extend(extra);
+        if pending.is_empty() {
+            return;
+        }
+        // Total order on (mean, weight): all values are finite, and equal
+        // (mean, weight) pairs are interchangeable, so the sorted sequence
+        // is a pure function of the multiset.
+        pending.sort_by(|a, b| {
+            (a.mean, a.weight)
+                .partial_cmp(&(b.mean, b.weight))
+                .expect("centroids are finite")
+        });
+        let total: f64 = pending.iter().map(|c| c.weight).sum();
+        let delta = self.delta as f64;
+        let mut out: Vec<Centroid> = Vec::with_capacity(2 * self.delta as usize);
+        let mut iter = pending.into_iter();
+        let mut cur = iter.next().expect("pending non-empty");
+        let mut w_done = 0.0;
+        let mut k_limit = k_scale(0.0, delta) + 1.0;
+        for c in iter {
+            let q = (w_done + cur.weight + c.weight) / total;
+            if k_scale(q, delta) <= k_limit {
+                // Weighted incremental mean keeps the update stable.
+                cur.mean += c.weight / (cur.weight + c.weight) * (c.mean - cur.mean);
+                cur.weight += c.weight;
+            } else {
+                w_done += cur.weight;
+                k_limit = k_scale(w_done / total, delta) + 1.0;
+                out.push(cur);
+                cur = c;
+            }
+        }
+        out.push(cur);
+        self.centroids = out;
+    }
+
+    /// Merges a batch of already-ascending finite values. Used when an
+    /// exact partial folds into a digest-mode partial.
+    pub(crate) fn merge_sorted_values(&mut self, values: &[f64]) {
+        for &x in values {
+            self.push(x);
+        }
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`), interpolated between centroid
+    /// means, anchored at the exact min/max.
+    pub fn quantile(&self, p: f64) -> StatsResult<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidProbability {
+                name: "p",
+                value: p,
+            });
+        }
+        if self.n == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        if !self.buffer.is_empty() {
+            let mut flushed = self.clone();
+            flushed.compress_with(Vec::new());
+            return flushed.quantile(p);
+        }
+        let total: f64 = self.centroids.iter().map(|c| c.weight).sum();
+        let index = p * total;
+        // Centroid i covers [cum, cum + w); its mean sits at the midpoint.
+        let mut cum = 0.0;
+        let mut prev_mid = 0.0;
+        let mut prev_mean = self.min;
+        for c in &self.centroids {
+            let mid = cum + c.weight / 2.0;
+            if index <= mid {
+                let span = mid - prev_mid;
+                let t = if span > 0.0 {
+                    (index - prev_mid) / span
+                } else {
+                    1.0
+                };
+                return Ok(prev_mean + t * (c.mean - prev_mean));
+            }
+            prev_mid = mid;
+            prev_mean = c.mean;
+            cum += c.weight;
+        }
+        let span = total - prev_mid;
+        let t = if span > 0.0 {
+            (index - prev_mid) / span
+        } else {
+            1.0
+        };
+        Ok(prev_mean + t * (self.max - prev_mean))
+    }
+
+    /// Median estimate.
+    pub fn median(&self) -> StatsResult<f64> {
+        self.quantile(0.5)
+    }
+}
+
+impl MergeableSummary for TDigest {
+    fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        self.n += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.buffer.push(x);
+        if self.buffer.len() >= self.buffer_capacity() {
+            self.compress_with(Vec::new());
+        }
+    }
+
+    fn merge_from(&mut self, other: &Self) -> StatsResult<()> {
+        if self.delta != other.delta {
+            return Err(StatsError::MismatchedSketch("digest delta differs"));
+        }
+        self.n += other.n;
+        self.non_finite += other.non_finite;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut extra = other.centroids.clone();
+        extra.extend(other.buffer.iter().map(|&x| Centroid {
+            mean: x,
+            weight: 1.0,
+        }));
+        self.compress_with(extra);
+        Ok(())
+    }
+
+    fn count(&self) -> u64 {
+        self.n
+    }
+
+    fn non_finite_count(&self) -> u64 {
+        self.non_finite
+    }
+
+    fn to_record(&self) -> String {
+        // Canonical form: flush the buffer first so the record is a pure
+        // function of the absorbed multiset, not of push/flush phase.
+        if !self.buffer.is_empty() {
+            let mut flushed = self.clone();
+            flushed.compress_with(Vec::new());
+            return flushed.to_record();
+        }
+        let centroids: Vec<String> = self
+            .centroids
+            .iter()
+            .map(|c| format!("{}:{}", f64_to_hex(c.mean), f64_to_hex(c.weight)))
+            .collect();
+        format!(
+            "td1;{};{};{};{};{};{}",
+            self.delta,
+            self.n,
+            self.non_finite,
+            f64_to_hex(self.min),
+            f64_to_hex(self.max),
+            centroids.join(",")
+        )
+    }
+
+    fn from_record(record: &str) -> StatsResult<Self> {
+        let parts: Vec<&str> = record.split(';').collect();
+        if parts.len() != 7 || parts[0] != "td1" {
+            return Err(StatsError::MalformedSketch("expected 7-part td1 record"));
+        }
+        let delta = parse_u64(parts[1])? as u32;
+        let mut digest = TDigest::new(delta)?;
+        digest.n = parse_u64(parts[2])?;
+        digest.non_finite = parse_u64(parts[3])?;
+        digest.min = f64_from_hex(parts[4])?;
+        digest.max = f64_from_hex(parts[5])?;
+        if !parts[6].is_empty() {
+            for c in parts[6].split(',') {
+                let (mean, weight) = c
+                    .split_once(':')
+                    .ok_or(StatsError::MalformedSketch("centroid missing ':'"))?;
+                digest.centroids.push(Centroid {
+                    mean: f64_from_hex(mean)?,
+                    weight: f64_from_hex(weight)?,
+                });
+            }
+        }
+        Ok(digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank_of(sorted: &[f64], x: f64) -> f64 {
+        let below = sorted.partition_point(|&v| v <= x);
+        below as f64 / sorted.len() as f64
+    }
+
+    fn heavy_tailed(n: usize) -> Vec<f64> {
+        // Deterministic Pareto-like tail via inverse transform on a
+        // low-discrepancy sequence.
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                let u = (u * 0.618_033_988_749_894_8).fract().max(1e-9);
+                (1.0 / (1.0 - u)).powf(1.16)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantiles_track_exact_ranks() {
+        let xs = heavy_tailed(50_000);
+        let mut d = TDigest::new(200).unwrap();
+        for &x in &xs {
+            d.push(x);
+        }
+        let sorted = crate::sorted_copy(&xs);
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let est = d.quantile(p).unwrap();
+            let err = (rank_of(&sorted, est) - p).abs();
+            assert!(err <= 0.01, "p={p}: rank error {err}");
+        }
+        assert_eq!(d.quantile(0.0).unwrap(), sorted[0]);
+        assert_eq!(d.quantile(1.0).unwrap(), *sorted.last().unwrap());
+        assert!(d.centroid_count() <= 2 * 200);
+    }
+
+    #[test]
+    fn merge_matches_single_digest_accuracy() {
+        let xs = heavy_tailed(40_000);
+        let mut whole = TDigest::new(100).unwrap();
+        let mut parts: Vec<TDigest> = (0..8).map(|_| TDigest::new(100).unwrap()).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.push(x);
+            parts[i % 8].push(x);
+        }
+        let mut merged = TDigest::new(100).unwrap();
+        for p in &parts {
+            merged.merge_from(p).unwrap();
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        let sorted = crate::sorted_copy(&xs);
+        for p in [0.05, 0.5, 0.95, 0.99] {
+            let err = (rank_of(&sorted, merged.quantile(p).unwrap()) - p).abs();
+            assert!(err <= 0.02, "p={p}: merged rank error {err}");
+        }
+    }
+
+    #[test]
+    fn push_sequence_is_deterministic() {
+        let xs = heavy_tailed(10_000);
+        let build = || {
+            let mut d = TDigest::new(150).unwrap();
+            for &x in &xs {
+                d.push(x);
+            }
+            d
+        };
+        assert_eq!(build().to_record(), build().to_record());
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let mut d = TDigest::new(50).unwrap();
+        for &x in &[3.5, -0.0, 1e-300, 7.25, f64::NAN, 2.0] {
+            d.push(x);
+        }
+        let record = d.to_record();
+        let back = TDigest::from_record(&record).unwrap();
+        assert_eq!(back.to_record(), record);
+        assert_eq!(back.non_finite_count(), 1);
+        assert_eq!(back.count(), 5);
+        // Signed zero must survive (bit pattern, not value, equality).
+        assert!(record.contains(&crate::f64_to_hex(-0.0)));
+        // Empty digest round-trips too.
+        let empty = TDigest::new(50).unwrap();
+        let back = TDigest::from_record(&empty.to_record()).unwrap();
+        assert_eq!(back, empty);
+        assert!(back.quantile(0.5).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(TDigest::new(5).is_err());
+        assert!(TDigest::new(20_000).is_err());
+        let a = TDigest::new(100).unwrap();
+        let mut b = TDigest::new(200).unwrap();
+        assert!(matches!(
+            b.merge_from(&a),
+            Err(StatsError::MismatchedSketch(_))
+        ));
+        assert!(matches!(
+            a.quantile(1.5),
+            Err(StatsError::InvalidProbability { .. })
+        ));
+        assert!(TDigest::from_record("td1;100;0").is_err());
+        assert!(TDigest::from_record("nope").is_err());
+    }
+
+    #[test]
+    fn non_finite_only_digest_stays_empty() {
+        let mut d = TDigest::new(100).unwrap();
+        d.push(f64::NAN);
+        d.push(f64::INFINITY);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.non_finite_count(), 2);
+        assert_eq!(d.min(), None);
+        assert!(d.quantile(0.5).is_err());
+        // NaN-bearing (all-quarantined) digest still round-trips.
+        let back = TDigest::from_record(&d.to_record()).unwrap();
+        assert_eq!(back.to_record(), d.to_record());
+    }
+}

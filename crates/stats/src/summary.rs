@@ -125,13 +125,28 @@ pub fn coefficient_of_variation(xs: &[f64]) -> StatsResult<f64> {
 /// be employed for large numbers of samples" — Welford's algorithm is that
 /// stable scheme. It is what the measurement harness uses to decide
 /// adaptive stopping without storing gigabytes of raw samples.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Non-finite observations (NaN, ±∞) are **quarantined, not averaged**:
+/// they are counted in [`OnlineMoments::non_finite_count`] and excluded
+/// from `mean`/`m2`/`min`/`max`. Previously a NaN poisoned the mean while
+/// `f64::min`/`f64::max` silently dropped it from the extrema, leaving the
+/// accumulator internally inconsistent; now every statistic describes the
+/// same (finite) subsample and the contamination is separately disclosed
+/// (Rule 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OnlineMoments {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+    non_finite: u64,
+}
+
+impl Default for OnlineMoments {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineMoments {
@@ -143,11 +158,17 @@ impl OnlineMoments {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            non_finite: 0,
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN and ±∞ are counted in
+    /// [`OnlineMoments::non_finite_count`] and leave the moments untouched.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         self.n += 1;
         let delta = x - self.mean;
         self.mean += delta / self.n as f64;
@@ -158,13 +179,16 @@ impl OnlineMoments {
     }
 
     /// Merges another accumulator into this one (parallel reduction of
-    /// partial moments, Chan et al.).
+    /// partial moments, Chan et al.). Non-finite counts add.
     pub fn merge(&mut self, other: &OnlineMoments) {
+        self.non_finite += other.non_finite;
         if other.n == 0 {
             return;
         }
         if self.n == 0 {
+            let non_finite = self.non_finite;
             *self = *other;
+            self.non_finite = non_finite;
             return;
         }
         let n1 = self.n as f64;
@@ -178,9 +202,42 @@ impl OnlineMoments {
         self.max = self.max.max(other.max);
     }
 
-    /// Number of observations so far.
+    /// Number of finite observations so far.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Number of non-finite observations (NaN, ±∞) that were pushed and
+    /// quarantined rather than folded into the moments.
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Total number of observations pushed, finite or not.
+    pub fn total_count(&self) -> u64 {
+        self.n + self.non_finite
+    }
+
+    pub(crate) fn to_raw(self) -> OnlineMomentsRaw {
+        OnlineMomentsRaw {
+            n: self.n,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+            non_finite: self.non_finite,
+        }
+    }
+
+    pub(crate) fn from_raw(raw: OnlineMomentsRaw) -> Self {
+        Self {
+            n: raw.n,
+            mean: raw.mean,
+            m2: raw.m2,
+            min: raw.min,
+            max: raw.max,
+            non_finite: raw.non_finite,
+        }
     }
 
     /// Running arithmetic mean; `None` when empty.
@@ -219,6 +276,32 @@ impl FromIterator<f64> for OnlineMoments {
     }
 }
 
+/// Crate-internal raw view of [`OnlineMoments`] so `crate::sketch` can
+/// serialize the accumulator bit-exactly without exposing mutable fields.
+pub(crate) struct OnlineMomentsRaw {
+    pub n: u64,
+    pub mean: f64,
+    pub m2: f64,
+    pub min: f64,
+    pub max: f64,
+    pub non_finite: u64,
+}
+
+/// Crate-internal raw view of [`HigherMoments`]; see [`OnlineMomentsRaw`].
+pub(crate) struct HigherMomentsRaw {
+    pub n: u64,
+    pub mean: f64,
+    pub m2: f64,
+    pub m3: f64,
+    pub m4: f64,
+    pub min: f64,
+    pub max: f64,
+    pub ln_sum: f64,
+    pub recip_sum: f64,
+    pub all_positive: bool,
+    pub non_finite: u64,
+}
+
 /// Single-pass accumulator of the first four central moments (Pébay's
 /// update formulas) plus the log- and reciprocal-sums needed for the
 /// geometric and harmonic means.
@@ -226,7 +309,10 @@ impl FromIterator<f64> for OnlineMoments {
 /// This powers [`crate::describe::describe`]: one pass over the data
 /// replaces the six separate passes (three means, variance, skewness,
 /// kurtosis) the multi-call formulation needs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Like [`OnlineMoments`], non-finite observations are quarantined in
+/// [`HigherMoments::non_finite_count`] instead of corrupting the moments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct HigherMoments {
     n: u64,
     mean: f64,
@@ -238,6 +324,13 @@ pub struct HigherMoments {
     ln_sum: f64,
     recip_sum: f64,
     all_positive: bool,
+    non_finite: u64,
+}
+
+impl Default for HigherMoments {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HigherMoments {
@@ -254,11 +347,17 @@ impl HigherMoments {
             ln_sum: 0.0,
             recip_sum: 0.0,
             all_positive: true,
+            non_finite: 0,
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. NaN and ±∞ are counted in
+    /// [`HigherMoments::non_finite_count`] and leave the moments untouched.
     pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
         let n0 = self.n as f64;
         self.n += 1;
         let n = self.n as f64;
@@ -281,9 +380,96 @@ impl HigherMoments {
         }
     }
 
-    /// Number of observations so far.
+    /// Merges another accumulator into this one using Pébay's pairwise
+    /// combination formulas for the third and fourth central moments —
+    /// the reduction step that lets each worker keep its own
+    /// `HigherMoments` and combine them at the supervisor.
+    pub fn merge(&mut self, other: &HigherMoments) {
+        self.non_finite += other.non_finite;
+        if other.n == 0 {
+            self.all_positive &= other.all_positive;
+            return;
+        }
+        if self.n == 0 {
+            let non_finite = self.non_finite;
+            let all_positive = self.all_positive && other.all_positive;
+            *self = *other;
+            self.non_finite = non_finite;
+            self.all_positive = all_positive;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let n = n1 + n2;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let m2 = self.m2 + other.m2 + delta2 * n1 * n2 / n;
+        let m3 = self.m3
+            + other.m3
+            + delta2 * delta * n1 * n2 * (n1 - n2) / (n * n)
+            + 3.0 * delta * (n1 * other.m2 - n2 * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta2 * delta2 * n1 * n2 * (n1 * n1 - n1 * n2 + n2 * n2) / (n * n * n)
+            + 6.0 * delta2 * (n1 * n1 * other.m2 + n2 * n2 * self.m2) / (n * n)
+            + 4.0 * delta * (n1 * other.m3 - n2 * self.m3) / n;
+        self.mean += delta * n2 / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.ln_sum += other.ln_sum;
+        self.recip_sum += other.recip_sum;
+        self.all_positive &= other.all_positive;
+    }
+
+    /// Number of finite observations so far.
     pub fn count(&self) -> u64 {
         self.n
+    }
+
+    /// Number of non-finite observations (NaN, ±∞) quarantined so far.
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Total number of observations pushed, finite or not.
+    pub fn total_count(&self) -> u64 {
+        self.n + self.non_finite
+    }
+
+    pub(crate) fn to_raw(self) -> HigherMomentsRaw {
+        HigherMomentsRaw {
+            n: self.n,
+            mean: self.mean,
+            m2: self.m2,
+            m3: self.m3,
+            m4: self.m4,
+            min: self.min,
+            max: self.max,
+            ln_sum: self.ln_sum,
+            recip_sum: self.recip_sum,
+            all_positive: self.all_positive,
+            non_finite: self.non_finite,
+        }
+    }
+
+    pub(crate) fn from_raw(raw: HigherMomentsRaw) -> Self {
+        Self {
+            n: raw.n,
+            mean: raw.mean,
+            m2: raw.m2,
+            m3: raw.m3,
+            m4: raw.m4,
+            min: raw.min,
+            max: raw.max,
+            ln_sum: raw.ln_sum,
+            recip_sum: raw.recip_sum,
+            all_positive: raw.all_positive,
+            non_finite: raw.non_finite,
+        }
     }
 
     /// Running arithmetic mean; `None` when empty.
@@ -545,6 +731,122 @@ mod tests {
         let three: HigherMoments = [1.0, 2.0, 4.0].iter().copied().collect();
         assert_eq!(three.excess_kurtosis(), None, "n < 4");
         assert!(three.skewness().is_some());
+    }
+
+    #[test]
+    fn online_quarantines_non_finite() {
+        let mut m = OnlineMoments::new();
+        m.push(1.0);
+        m.push(f64::NAN);
+        m.push(3.0);
+        m.push(f64::INFINITY);
+        m.push(f64::NEG_INFINITY);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.non_finite_count(), 3);
+        assert_eq!(m.total_count(), 5);
+        // The moments and extrema describe the finite subsample only.
+        assert_eq!(m.mean(), Some(2.0));
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(3.0));
+        assert!(m.variance().unwrap().is_finite());
+    }
+
+    #[test]
+    fn online_first_push_nan_leaves_accumulator_empty() {
+        let mut m = OnlineMoments::new();
+        m.push(f64::NAN);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.non_finite_count(), 1);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        // The accumulator recovers: finite pushes after a leading NaN work.
+        m.push(7.0);
+        assert_eq!(m.mean(), Some(7.0));
+        assert_eq!(m.min(), Some(7.0));
+    }
+
+    #[test]
+    fn online_merge_adds_non_finite_counts() {
+        let mut a = OnlineMoments::new();
+        a.push(f64::NAN);
+        let mut b = OnlineMoments::new();
+        b.push(1.0);
+        b.push(f64::INFINITY);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.non_finite_count(), 2);
+        assert_eq!(a.mean(), Some(1.0));
+        // Merging into an empty-but-contaminated accumulator keeps the
+        // contamination count (regression: `*self = *other` used to drop it).
+        let mut c = OnlineMoments::new();
+        c.push(f64::NAN);
+        let d: OnlineMoments = [2.0, 4.0].iter().copied().collect();
+        c.merge(&d);
+        assert_eq!(c.non_finite_count(), 1);
+        assert_eq!(c.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn higher_moments_merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..800)
+            .map(|i| ((i as f64 * 0.517).sin() + 2.2) * 3.0)
+            .collect();
+        let whole: HigherMoments = xs.iter().copied().collect();
+        // Merge three unequal partitions pairwise.
+        let mut acc: HigherMoments = xs[..120].iter().copied().collect();
+        let mid: HigherMoments = xs[120..500].iter().copied().collect();
+        let tail: HigherMoments = xs[500..].iter().copied().collect();
+        acc.merge(&mid);
+        acc.merge(&tail);
+        assert_eq!(acc.count(), whole.count());
+        assert!((acc.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((acc.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-8);
+        assert!((acc.skewness().unwrap() - whole.skewness().unwrap()).abs() < 1e-8);
+        assert!((acc.excess_kurtosis().unwrap() - whole.excess_kurtosis().unwrap()).abs() < 1e-7);
+        assert!((acc.geometric_mean().unwrap() - whole.geometric_mean().unwrap()).abs() < 1e-10);
+        assert!((acc.harmonic_mean().unwrap() - whole.harmonic_mean().unwrap()).abs() < 1e-10);
+        assert_eq!(acc.min(), whole.min());
+        assert_eq!(acc.max(), whole.max());
+        // Merging with empty accumulators is the identity.
+        let mut e = HigherMoments::new();
+        e.merge(&whole);
+        assert_eq!(e.count(), whole.count());
+        e.merge(&HigherMoments::new());
+        assert_eq!(e.count(), whole.count());
+        // Positivity tracking merges conjunctively.
+        let neg: HigherMoments = [-1.0].iter().copied().collect();
+        let mut pos: HigherMoments = [1.0, 2.0].iter().copied().collect();
+        pos.merge(&neg);
+        assert_eq!(pos.geometric_mean(), None);
+    }
+
+    #[test]
+    fn higher_moments_quarantine_non_finite() {
+        let mut m = HigherMoments::new();
+        m.push(f64::NAN);
+        m.push(2.0);
+        m.push(f64::INFINITY);
+        m.push(8.0);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.non_finite_count(), 2);
+        assert_eq!(m.total_count(), 4);
+        assert_eq!(m.mean(), Some(5.0));
+        assert_eq!(m.min(), Some(2.0));
+        assert_eq!(m.max(), Some(8.0));
+        assert!((m.geometric_mean().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // The derived Default used to start min/max at 0.0 instead of the
+        // ±∞ identities `new()` uses, corrupting extrema of the first push.
+        assert_eq!(OnlineMoments::default(), OnlineMoments::new());
+        assert_eq!(HigherMoments::default(), HigherMoments::new());
+        let mut m = OnlineMoments::default();
+        m.push(5.0);
+        assert_eq!(m.min(), Some(5.0));
+        assert_eq!(m.max(), Some(5.0));
     }
 
     #[test]
